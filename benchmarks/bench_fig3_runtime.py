@@ -1,0 +1,62 @@
+"""Experiment ``fig3`` — Figure 3 of the paper.
+
+Runtime of regular Full Disjunction (ALITE) vs. Fuzzy Full Disjunction over
+the IMDB benchmark as the number of input tuples grows.  The paper sweeps 5K
+to 30K input tuples and shows the two curves almost overlap: the Match Values
+step adds no significant overhead to the Full Disjunction itself.
+
+By default the sweep uses reduced sizes so the benchmark finishes in minutes;
+set ``REPRO_BENCH_FULL=1`` for the paper's 5K–30K sweep (slow: Full
+Disjunction cost grows super-linearly, which is exactly the behaviour the
+paper's Figure 3 exhibits with runtimes in the thousands of seconds).
+
+Run with ``pytest benchmarks/bench_fig3_runtime.py --benchmark-only -s`` or
+``python benchmarks/bench_fig3_runtime.py``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core import FuzzyFDConfig
+from repro.datasets import ImdbBenchmark
+from repro.evaluation.reporting import format_runtime_series
+from repro.evaluation.runtime import RuntimePoint, overhead_ratio, runtime_sweep
+
+#: Reduced default sweep (total input tuples) and the paper's sweep.
+DEFAULT_SIZES = (500, 1000, 1500, 2000)
+PAPER_SIZES = (5_000, 10_000, 15_000, 20_000, 25_000, 30_000)
+
+
+def run_runtime_sweep(sizes: Sequence[int] = DEFAULT_SIZES, seed: int = 13) -> List[RuntimePoint]:
+    """Measure regular-FD and Fuzzy-FD runtime for each input size."""
+    benchmark = ImdbBenchmark(seed=seed)
+    return runtime_sweep(benchmark.tables, sizes=list(sizes), config=FuzzyFDConfig())
+
+
+def report(points: List[RuntimePoint]) -> str:
+    """Render the Figure 3 series plus the fuzzy/regular overhead ratio."""
+    lines = ["", "Figure 3 — Runtime of regular FD (ALITE) vs Fuzzy FD (IMDB benchmark)", ""]
+    lines.append(format_runtime_series(points))
+    lines.append("")
+    lines.append("Overhead ratio (fuzzy / regular):")
+    for size, ratio in overhead_ratio(points).items():
+        lines.append(f"  {size:>7d} input tuples: {ratio:.3f}x")
+    return "\n".join(lines)
+
+
+def test_figure3_runtime(benchmark, paper_scale):
+    """pytest-benchmark entry point for the Figure 3 sweep."""
+    sizes = PAPER_SIZES if paper_scale else DEFAULT_SIZES
+    points = benchmark.pedantic(run_runtime_sweep, kwargs={"sizes": sizes}, rounds=1, iterations=1)
+    print(report(points))
+    ratios = overhead_ratio(points)
+    # The paper's claim: the two curves overlap — Fuzzy FD adds no significant
+    # overhead.  Allow generous slack at the smallest sizes where absolute
+    # times are fractions of a second.
+    largest = max(ratios)
+    assert ratios[largest] < 1.5
+
+
+if __name__ == "__main__":
+    print(report(run_runtime_sweep()))

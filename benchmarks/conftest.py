@@ -1,0 +1,25 @@
+"""Shared configuration for the benchmark harnesses.
+
+Every harness runs at a reduced default scale so the whole suite finishes in a
+few minutes on a laptop; set ``REPRO_BENCH_FULL=1`` to use the paper-scale
+parameters (31×~150-value Auto-Join sets, IMDB sweeps of 5K–30K input tuples),
+which takes considerably longer — the quadratic growth of Full Disjunction
+runtime is precisely what Figure 3 reports.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def full_scale() -> bool:
+    """Whether the paper-scale parameters were requested via REPRO_BENCH_FULL."""
+    return os.environ.get("REPRO_BENCH_FULL", "0") not in ("", "0", "false", "False")
+
+
+@pytest.fixture(scope="session")
+def paper_scale() -> bool:
+    """Fixture form of :func:`full_scale` for benchmark tests."""
+    return full_scale()

@@ -1,0 +1,40 @@
+"""Runtime scaling of Fuzzy FD vs regular FD on the IMDB benchmark (Figure 3).
+
+Generates IMDB-schema integration sets of growing size, integrates each with
+regular Full Disjunction (ALITE) and with Fuzzy Full Disjunction, and prints
+the two runtime series plus the overhead ratio — a laptop-scale version of the
+paper's Figure 3.  Increase the sizes (e.g. ``python examples/imdb_scaling.py
+5000 10000``) to approach the paper's 5K–30K sweep.
+
+Run with::
+
+    python examples/imdb_scaling.py [size ...]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core import FuzzyFDConfig
+from repro.datasets import ImdbBenchmark
+from repro.evaluation.reporting import format_runtime_series
+from repro.evaluation.runtime import overhead_ratio, runtime_sweep
+
+
+def main(sizes: list[int]) -> None:
+    benchmark = ImdbBenchmark(seed=13)
+    print(f"Sweeping input sizes {sizes} over the 6-table IMDB schema...\n")
+    points = runtime_sweep(benchmark.tables, sizes=sizes, config=FuzzyFDConfig())
+    print(format_runtime_series(points))
+    print("\nOverhead of Fuzzy FD over regular FD:")
+    for size, ratio in overhead_ratio(points).items():
+        print(f"  {size:>7d} input tuples: {ratio:.3f}x")
+    print(
+        "\nThe paper's Figure 3 shows the two curves almost overlapping for 5K-30K "
+        "input tuples: the Match Values step is cheap relative to Full Disjunction."
+    )
+
+
+if __name__ == "__main__":
+    requested = [int(argument) for argument in sys.argv[1:]] or [500, 1000, 1500]
+    main(requested)

@@ -1,0 +1,49 @@
+"""Downstream entity matching over integrated open-data tables.
+
+Generates one ALITE-style entity-matching integration set (organisations
+described inconsistently across three tables), integrates it with regular and
+with Fuzzy Full Disjunction, runs the entity-matching pipeline over both
+integrated tables, and reports the pairwise precision/recall/F1 against the
+gold entity clusters — the paper's "Downstreaming Task Effectiveness"
+experiment in miniature.
+
+Run with::
+
+    python examples/open_data_entity_matching.py
+"""
+
+from __future__ import annotations
+
+from repro.core import integrate
+from repro.datasets import AliteEmBenchmark
+from repro.em import EntityMatchingPipeline
+
+
+def main() -> None:
+    benchmark = AliteEmBenchmark(n_sets=1, entities_per_set=40, seed=7)
+    integration_set = benchmark.generate()[0]
+
+    print(f"Integration set {integration_set.name}: "
+          f"{len(integration_set.tables)} tables, {integration_set.total_tuples} tuples, "
+          f"{len(integration_set.gold_clusters)} gold entities "
+          f"({integration_set.multi_table_entities()} spanning several tables)\n")
+    for table in integration_set.tables:
+        print(f"{table.name} ({table.num_rows} rows): columns {list(table.columns)}")
+        print(table.head(3).to_pretty_string())
+        print()
+
+    pipeline = EntityMatchingPipeline()
+    for label, fuzzy in (("Regular FD (ALITE)", False), ("Fuzzy FD", True)):
+        integrated = integrate(integration_set.tables, fuzzy=fuzzy)
+        result = pipeline.run(integrated.table, gold_clusters=integration_set.gold_clusters)
+        scores = result.scores
+        print(
+            f"{label:20s} integrated tuples={integrated.table.num_rows:4d}  "
+            f"P={scores.precision:.2f} R={scores.recall:.2f} F1={scores.f1:.2f}"
+        )
+
+    print("\n(The paper reports P/R/F1 of 79/83/81 for regular FD and 86/85/85 for Fuzzy FD.)")
+
+
+if __name__ == "__main__":
+    main()

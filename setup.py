@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The execution environment is offline and ships setuptools without the
+``wheel`` package, so PEP 660 editable installs (which build a wheel) are not
+available.  Keeping a ``setup.py`` alongside ``pyproject.toml`` lets
+``pip install -e .`` fall back to the legacy ``setup.py develop`` code path,
+which works offline.  All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,43 @@
+"""repro — a full reproduction of "Fuzzy Integration of Data Lake Tables".
+
+The package implements the paper's Fuzzy Full Disjunction operator together
+with every substrate it depends on: an in-memory relational table layer, Full
+Disjunction algorithms (including the ALITE substrate), simulated cell-value
+embedding models, bipartite fuzzy value matching, holistic schema matching,
+a downstream entity-matching pipeline, and seeded benchmark generators
+standing in for the Auto-Join, ALITE and IMDB benchmarks.
+
+Quickstart
+----------
+>>> from repro import Table, integrate
+>>> t1 = Table("t1", ["City", "Country"], [("Berlinn", "Germany")])
+>>> t2 = Table("t2", ["City", "Vax"], [("Berlin", "63%")])
+>>> result = integrate([t1, t2])          # fuzzy full disjunction
+>>> result.table.num_rows
+1
+"""
+
+from repro.core import (
+    FuzzyFDConfig,
+    FuzzyFullDisjunction,
+    FuzzyIntegrationResult,
+    RegularFullDisjunction,
+    ValueMatcher,
+    integrate,
+)
+from repro.table import Table, read_csv, write_csv
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Table",
+    "read_csv",
+    "write_csv",
+    "integrate",
+    "FuzzyFDConfig",
+    "FuzzyFullDisjunction",
+    "RegularFullDisjunction",
+    "FuzzyIntegrationResult",
+    "ValueMatcher",
+]

@@ -1,0 +1,199 @@
+"""Command-line interface.
+
+Three subcommands expose the library to shell users:
+
+``repro integrate``
+    Integrate a set of CSV tables (files or a directory) into one table with
+    the Fuzzy Full Disjunction (or, with ``--regular``, with plain ALITE).
+
+``repro match``
+    Run the Match Values component over one column of each input CSV and
+    print the fuzzy value-match sets with their representatives.
+
+``repro benchmark``
+    Run one of the paper's experiments (``table1``, ``em``, ``fig3``) at a
+    chosen scale and print the resulting table/series.
+
+Installed as the ``repro`` console script; also runnable with
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.core import FuzzyFDConfig, integrate
+from repro.core.value_matching import ColumnValues, ValueMatcher
+from repro.embeddings.registry import available_embedders, get_embedder
+from repro.table import Table, read_csv, write_csv
+from repro.table.io import load_directory
+
+
+def _collect_tables(paths: Sequence[str]) -> List[Table]:
+    """Load every CSV file (or every CSV inside a directory) named in ``paths``."""
+    tables: List[Table] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            tables.extend(load_directory(path))
+        elif path.suffix.lower() == ".csv":
+            tables.append(read_csv(path))
+        else:
+            raise SystemExit(f"error: {path} is neither a CSV file nor a directory")
+    if len(tables) < 1:
+        raise SystemExit("error: no input tables found")
+    return tables
+
+
+# ---------------------------------------------------------------------------------
+# subcommands
+# ---------------------------------------------------------------------------------
+
+
+def cmd_integrate(args: argparse.Namespace) -> int:
+    """``repro integrate``: fuzzy (or regular) integration of CSV tables."""
+    tables = _collect_tables(args.inputs)
+    config = FuzzyFDConfig(
+        embedder=args.embedder,
+        threshold=args.threshold,
+        fd_algorithm=args.fd_algorithm,
+        alignment=args.alignment,
+    )
+    result = integrate(tables, fuzzy=not args.regular, config=config)
+    mode = "regular FD" if args.regular else "fuzzy FD"
+    print(
+        f"integrated {len(tables)} tables "
+        f"({sum(t.num_rows for t in tables)} input tuples) with {mode}: "
+        f"{result.table.num_rows} output tuples"
+    )
+    if args.output:
+        path = write_csv(result.table, args.output)
+        print(f"wrote {path}")
+    else:
+        print()
+        print(result.table.to_pretty_string(max_rows=args.max_rows))
+    if args.show_rewrites and result.value_matching:
+        print("\nvalue rewrites:")
+        for group, matching in result.value_matching.items():
+            for column_id in matching.column_order:
+                for original, representative in matching.rewrite_map(column_id).items():
+                    print(f"  [{group}] {column_id[0]}: {original!r} -> {representative!r}")
+    return 0
+
+
+def cmd_match(args: argparse.Namespace) -> int:
+    """``repro match``: fuzzy value matching over one column per input table."""
+    tables = _collect_tables(args.inputs)
+    columns: List[ColumnValues] = []
+    for table in tables:
+        column = args.column if args.column in table.schema else table.columns[0]
+        values = table.distinct_values(column)
+        if values:
+            columns.append(ColumnValues((table.name, column), values))
+    if len(columns) < 2:
+        raise SystemExit("error: need at least two non-empty columns to match")
+    matcher = ValueMatcher(get_embedder(args.embedder), threshold=args.threshold)
+    result = matcher.match_columns(columns)
+    multi = [match_set for match_set in result.sets if len(match_set) > 1]
+    print(f"{len(result.sets)} value sets ({len(multi)} with fuzzy matches):")
+    for match_set in result.sets:
+        if len(match_set) == 1 and not args.all:
+            continue
+        members = ", ".join(f"{column[0]}:{value!r}" for column, value in match_set.members)
+        print(f"  ({members}) -> {match_set.representative!r}")
+    return 0
+
+
+def cmd_benchmark(args: argparse.Namespace) -> int:
+    """``repro benchmark``: run one of the paper's experiments."""
+    from repro.evaluation.experiments import (
+        run_downstream_em_experiment,
+        run_figure3_experiment,
+        run_table1_experiment,
+    )
+    from repro.evaluation.reporting import (
+        format_markdown_table,
+        format_runtime_series,
+        format_scores_table,
+    )
+
+    if args.experiment == "table1":
+        scores = run_table1_experiment(
+            n_sets=args.sets, values_per_column=args.values_per_column
+        )
+        print(format_scores_table(scores))
+    elif args.experiment == "em":
+        scores = run_downstream_em_experiment(n_sets=max(1, args.sets // 8))
+        rows = [
+            [method, f"{s.precision:.2f}", f"{s.recall:.2f}", f"{s.f1:.2f}"]
+            for method, s in scores.items()
+        ]
+        print(format_markdown_table(["Method", "Precision", "Recall", "F1"], rows))
+    elif args.experiment == "fig3":
+        points = run_figure3_experiment(sizes=args.sizes)
+        print(format_runtime_series(points))
+    else:  # pragma: no cover - argparse restricts the choices
+        raise SystemExit(f"unknown experiment {args.experiment!r}")
+    return 0
+
+
+# ---------------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for tests and documentation)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fuzzy Integration of Data Lake Tables — command line interface",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    integrate_parser = subparsers.add_parser(
+        "integrate", help="integrate CSV tables with (fuzzy) Full Disjunction"
+    )
+    integrate_parser.add_argument("inputs", nargs="+", help="CSV files or directories")
+    integrate_parser.add_argument("--output", "-o", help="write the integrated table to this CSV")
+    integrate_parser.add_argument("--regular", action="store_true", help="use equi-join FD (no fuzziness)")
+    integrate_parser.add_argument("--embedder", default="mistral", choices=available_embedders())
+    integrate_parser.add_argument("--threshold", type=float, default=0.7, help="matching threshold θ")
+    integrate_parser.add_argument(
+        "--fd-algorithm", default="alite",
+        choices=["alite", "incremental", "partitioned", "naive", "streaming"],
+    )
+    integrate_parser.add_argument("--alignment", default="by_name", choices=["by_name", "holistic"])
+    integrate_parser.add_argument("--max-rows", type=int, default=20, help="rows to print without --output")
+    integrate_parser.add_argument("--show-rewrites", action="store_true", help="print the value rewrites applied")
+    integrate_parser.set_defaults(func=cmd_integrate)
+
+    match_parser = subparsers.add_parser("match", help="fuzzy value matching over aligned columns")
+    match_parser.add_argument("inputs", nargs="+", help="CSV files or directories (one column each)")
+    match_parser.add_argument("--column", default="value", help="column name to match (default: first column)")
+    match_parser.add_argument("--embedder", default="mistral", choices=available_embedders())
+    match_parser.add_argument("--threshold", type=float, default=0.7)
+    match_parser.add_argument("--all", action="store_true", help="also print singleton sets")
+    match_parser.set_defaults(func=cmd_match)
+
+    benchmark_parser = subparsers.add_parser("benchmark", help="run one of the paper's experiments")
+    benchmark_parser.add_argument("experiment", choices=["table1", "em", "fig3"])
+    benchmark_parser.add_argument("--sets", type=int, default=31, help="number of integration sets")
+    benchmark_parser.add_argument("--values-per-column", type=int, default=100)
+    benchmark_parser.add_argument("--sizes", type=int, nargs="+", default=[500, 1000, 1500, 2000])
+    benchmark_parser.set_defaults(func=cmd_benchmark)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

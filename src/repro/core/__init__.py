@@ -1,0 +1,39 @@
+"""Fuzzy Full Disjunction — the paper's primary contribution.
+
+The pipeline: align columns, run the *Match Values* component over every set
+of aligned columns (embed cell values, bipartite-match value sets column pair
+by column pair, fold matches into a combined column and pick representative
+values), rewrite every cell with its representative, then apply the ordinary
+equi-join Full Disjunction.
+
+Public entry points:
+
+* :class:`~repro.core.fuzzy_fd.FuzzyFullDisjunction` — the operator itself.
+* :class:`~repro.core.value_matching.ValueMatcher` — the Match Values component.
+* :func:`~repro.core.pipeline.integrate` — one-call convenience (fuzzy or
+  regular integration of a list of tables).
+* :class:`~repro.core.config.FuzzyFDConfig` — configuration (embedding model,
+  threshold θ, assignment solver, FD algorithm, representative policy).
+"""
+
+from repro.core.config import FuzzyFDConfig
+from repro.core.representatives import (
+    available_policies,
+    select_representative,
+)
+from repro.core.value_matching import ColumnValues, ValueMatcher, ValueMatchingResult
+from repro.core.fuzzy_fd import FuzzyFullDisjunction, FuzzyIntegrationResult, RegularFullDisjunction
+from repro.core.pipeline import integrate
+
+__all__ = [
+    "FuzzyFDConfig",
+    "ValueMatcher",
+    "ValueMatchingResult",
+    "ColumnValues",
+    "FuzzyFullDisjunction",
+    "RegularFullDisjunction",
+    "FuzzyIntegrationResult",
+    "integrate",
+    "select_representative",
+    "available_policies",
+]

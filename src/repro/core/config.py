@@ -1,0 +1,78 @@
+"""Configuration of the Fuzzy Full Disjunction pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.embeddings.base import ValueEmbedder
+from repro.embeddings.registry import get_embedder
+from repro.fd import get_algorithm
+from repro.fd.base import FullDisjunctionAlgorithm
+from repro.matching.assignment import AssignmentSolver, get_assignment_solver
+
+
+@dataclass
+class FuzzyFDConfig:
+    """All knobs of the pipeline, with the paper's defaults.
+
+    Attributes
+    ----------
+    embedder:
+        Embedding model (registry name or instance).  The paper's system uses
+        Mistral-7B-Instruct; the default here is the Mistral simulator.
+    threshold:
+        Matching threshold θ of Definition 2.  The paper reports θ = 0.7.
+    assignment_solver:
+        Bipartite assignment solver (``"scipy"`` as in the paper,
+        ``"hungarian"`` or ``"greedy"``).
+    fd_algorithm:
+        Full Disjunction substrate (``"alite"`` as in the paper, or
+        ``"naive"`` / ``"incremental"`` / ``"partitioned"``).
+    representative_policy:
+        How the representative value of a match set is chosen;
+        ``"frequency"`` (most frequent value, ties broken by earliest table)
+        is the paper's rule.
+    exact_first:
+        Match identical values before running the optimal assignment on the
+        remainder (cheaper and never harmful under clean-clean semantics).
+    alignment:
+        How columns are aligned when the caller does not pass an explicit
+        alignment: ``"by_name"`` groups equal headers (the Figure 1 setting),
+        ``"holistic"`` runs embedding-based holistic schema matching.
+    """
+
+    embedder: Union[str, ValueEmbedder] = "mistral"
+    threshold: float = 0.7
+    assignment_solver: Union[str, AssignmentSolver] = "scipy"
+    fd_algorithm: Union[str, FullDisjunctionAlgorithm] = "alite"
+    representative_policy: str = "frequency"
+    exact_first: bool = True
+    alignment: str = "by_name"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.threshold <= 1.0:
+            raise ValueError(f"threshold must be in (0, 1], got {self.threshold}")
+        if self.alignment not in ("by_name", "holistic"):
+            raise ValueError(
+                f"alignment must be 'by_name' or 'holistic', got {self.alignment!r}"
+            )
+
+    # -- resolution helpers -------------------------------------------------------
+    def resolve_embedder(self) -> ValueEmbedder:
+        """Return the embedder instance (instantiating registry names)."""
+        if isinstance(self.embedder, ValueEmbedder):
+            return self.embedder
+        return get_embedder(self.embedder)
+
+    def resolve_solver(self) -> AssignmentSolver:
+        """Return the assignment solver instance."""
+        if isinstance(self.assignment_solver, AssignmentSolver):
+            return self.assignment_solver
+        return get_assignment_solver(self.assignment_solver)
+
+    def resolve_fd_algorithm(self) -> FullDisjunctionAlgorithm:
+        """Return the Full Disjunction algorithm instance."""
+        if isinstance(self.fd_algorithm, FullDisjunctionAlgorithm):
+            return self.fd_algorithm
+        return get_algorithm(self.fd_algorithm)

@@ -1,0 +1,61 @@
+"""One-call convenience API.
+
+``integrate(tables)`` is the function a downstream user reaches for first: it
+builds the default configuration (Mistral embedder, θ = 0.7, scipy assignment,
+ALITE Full Disjunction, header-based alignment) and runs either the fuzzy or
+the regular pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.config import FuzzyFDConfig
+from repro.core.fuzzy_fd import FuzzyFullDisjunction, FuzzyIntegrationResult, RegularFullDisjunction
+from repro.schema_matching.alignment import ColumnAlignment
+from repro.table.table import Table
+
+
+def integrate(
+    tables: Sequence[Table],
+    *,
+    fuzzy: bool = True,
+    config: Optional[FuzzyFDConfig] = None,
+    alignment: Optional[ColumnAlignment] = None,
+) -> FuzzyIntegrationResult:
+    """Integrate a set of data-lake tables into one unified table.
+
+    Parameters
+    ----------
+    tables:
+        The tables to integrate (e.g. loaded with :func:`repro.table.read_csv`).
+    fuzzy:
+        ``True`` (default) runs the paper's Fuzzy Full Disjunction;
+        ``False`` runs the regular, equi-join Full Disjunction baseline.
+    config:
+        Pipeline configuration; defaults to the paper's settings.
+    alignment:
+        Optional pre-computed column alignment.  When omitted the alignment
+        strategy named in the configuration is used.
+
+    Returns
+    -------
+    FuzzyIntegrationResult
+        The integrated table plus value-matching details and timings.
+
+    Example
+    -------
+    >>> from repro.table import Table
+    >>> from repro.core import integrate
+    >>> cities = Table("t1", ["City", "Country"], [("Berlin", "Germany")])
+    >>> stats = Table("t2", ["City", "Cases"], [("Berlin", "1.4M")])
+    >>> result = integrate([cities, stats])
+    >>> sorted(result.table.columns)
+    ['Cases', 'City', 'Country']
+    """
+    config = config if config is not None else FuzzyFDConfig()
+    if fuzzy:
+        operator = FuzzyFullDisjunction(config)
+    else:
+        operator = RegularFullDisjunction(config)
+    return operator.integrate(tables, alignment=alignment)

@@ -1,0 +1,98 @@
+"""Representative-value selection for value-match sets.
+
+Once a set of values has been matched (e.g. {"Berlinn", "Berlin", "Berlin"}),
+one member must be chosen as the *representative* that replaces every member
+before the equi-join Full Disjunction runs.  The paper's rule: pick the value
+that appears most frequently across the aligning columns; break ties by taking
+the value from the earliest table.  Alternative policies are provided for the
+ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Mapping, Sequence, Tuple
+
+ValueKey = Tuple[Hashable, object]
+# A policy receives the members of one match set, the global frequency of each
+# surface value across the aligning columns, and the order index of each
+# column, and returns the representative surface value.
+Policy = Callable[[Sequence[ValueKey], Mapping[object, int], Mapping[Hashable, int]], object]
+
+
+def _frequency_policy(
+    members: Sequence[ValueKey],
+    frequencies: Mapping[object, int],
+    column_order: Mapping[Hashable, int],
+) -> object:
+    """Most frequent value; ties broken by earliest column, then lexicographically."""
+    def sort_key(member: ValueKey) -> Tuple[int, int, str]:
+        column, value = member
+        return (
+            -frequencies.get(value, 0),
+            column_order.get(column, len(column_order)),
+            str(value),
+        )
+
+    return min(members, key=sort_key)[1]
+
+
+def _first_column_policy(
+    members: Sequence[ValueKey],
+    frequencies: Mapping[object, int],
+    column_order: Mapping[Hashable, int],
+) -> object:
+    """Value from the earliest column (the query table's spelling wins)."""
+    def sort_key(member: ValueKey) -> Tuple[int, str]:
+        column, value = member
+        return (column_order.get(column, len(column_order)), str(value))
+
+    return min(members, key=sort_key)[1]
+
+
+def _longest_policy(
+    members: Sequence[ValueKey],
+    frequencies: Mapping[object, int],
+    column_order: Mapping[Hashable, int],
+) -> object:
+    """Longest surface form (prefers expanded names over abbreviations)."""
+    return min(members, key=lambda member: (-len(str(member[1])), str(member[1])))[1]
+
+
+def _shortest_policy(
+    members: Sequence[ValueKey],
+    frequencies: Mapping[object, int],
+    column_order: Mapping[Hashable, int],
+) -> object:
+    """Shortest surface form (prefers codes/abbreviations)."""
+    return min(members, key=lambda member: (len(str(member[1])), str(member[1])))[1]
+
+
+_POLICIES: Dict[str, Policy] = {
+    "frequency": _frequency_policy,
+    "first_column": _first_column_policy,
+    "longest": _longest_policy,
+    "shortest": _shortest_policy,
+}
+
+
+def available_policies() -> List[str]:
+    """Names of the registered representative policies."""
+    return sorted(_POLICIES)
+
+
+def select_representative(
+    members: Sequence[ValueKey],
+    frequencies: Mapping[object, int],
+    column_order: Mapping[Hashable, int],
+    policy: str = "frequency",
+) -> object:
+    """Choose the representative value of one match set under ``policy``."""
+    if not members:
+        raise ValueError("cannot select a representative from an empty match set")
+    try:
+        chosen_policy = _POLICIES[policy]
+    except KeyError:
+        raise ValueError(
+            f"unknown representative policy {policy!r}; available: {available_policies()}"
+        ) from None
+    return chosen_policy(members, frequencies, column_order)

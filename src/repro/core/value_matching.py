@@ -1,0 +1,223 @@
+"""The *Match Values* component (Sec. 2.2 of the paper).
+
+Given a set of aligning columns, the component determines fuzzy matches among
+their values and picks one representative value per match set:
+
+1. Embed every (distinct) cell value.
+2. Take the first two columns and bipartite-match their value sets under the
+   threshold θ (cosine distance over the embeddings, optimal assignment).
+3. Fold the result into a *combined column*: matched values form one group
+   whose representative is the most frequent surface form (ties: the value
+   from the earliest table); unmatched values stay as singleton groups.
+4. Match the combined column against the next aligning column, and repeat
+   until every column is folded in.
+
+The result maps every value of every aligned column to its representative,
+which the Fuzzy Full Disjunction pipeline then writes back into the tables
+before running the equi-join Full Disjunction.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.representatives import select_representative
+from repro.embeddings.base import ValueEmbedder
+from repro.matching.assignment import AssignmentSolver
+from repro.matching.bipartite import BipartiteValueMatcher, ValueMatch
+from repro.matching.clustering import ValueMatchSet
+from repro.matching.distance import EmbeddingDistance
+
+ValueKey = Tuple[Hashable, object]
+
+
+@dataclass
+class ColumnValues:
+    """The values of one aligned column, as the matcher consumes them.
+
+    Attributes
+    ----------
+    column_id:
+        Identifier of the column (the pipeline uses ``(table name, column)``).
+    values:
+        Distinct non-null values, in first-seen order (clean-clean scenario:
+        within a column, equal strings mean the same thing).
+    counts:
+        Occurrence count of each value in the underlying column; used by the
+        frequency-based representative policy.  Defaults to 1 per value.
+    """
+
+    column_id: Hashable
+    values: List[object]
+    counts: Dict[object, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        deduplicated: List[object] = []
+        seen = set()
+        for value in self.values:
+            if value not in seen:
+                seen.add(value)
+                deduplicated.append(value)
+        self.values = deduplicated
+        if not self.counts:
+            self.counts = {value: 1 for value in self.values}
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+@dataclass
+class ValueMatchingResult:
+    """Outcome of matching one set of aligned columns."""
+
+    sets: List[ValueMatchSet]
+    column_order: Dict[Hashable, int]
+    statistics: Dict[str, float] = field(default_factory=dict)
+
+    def rewrite_map(self, column_id: Hashable) -> Dict[object, object]:
+        """``value -> representative`` for one column (identity pairs omitted)."""
+        mapping: Dict[object, object] = {}
+        for match_set in self.sets:
+            for member_column, value in match_set.members:
+                if member_column == column_id and value != match_set.representative:
+                    mapping[value] = match_set.representative
+        return mapping
+
+    def representative_of(self, column_id: Hashable, value: object) -> object:
+        """The representative of ``value`` in ``column_id`` (itself if unmatched)."""
+        for match_set in self.sets:
+            if (column_id, value) in match_set.members:
+                return match_set.representative
+        return value
+
+    def combined_column(self) -> List[object]:
+        """The final combined column: one representative per match set."""
+        return [match_set.representative for match_set in self.sets]
+
+    def matched_pairs(self) -> List[Tuple[ValueKey, ValueKey]]:
+        """All within-set pairs — the unit counted by the evaluation metrics."""
+        pairs: List[Tuple[ValueKey, ValueKey]] = []
+        for match_set in self.sets:
+            members = match_set.members
+            for index, left in enumerate(members):
+                for right in members[index + 1 :]:
+                    pairs.append((left, right))
+        return pairs
+
+
+class _Group:
+    """A value-match group under construction (mutable, internal)."""
+
+    __slots__ = ("members", "representative")
+
+    def __init__(self, members: List[ValueKey], representative: object) -> None:
+        self.members = members
+        self.representative = representative
+
+
+class ValueMatcher:
+    """The Match Values component.
+
+    Parameters mirror :class:`~repro.core.config.FuzzyFDConfig`; the matcher is
+    deliberately usable standalone (it is what the Table 1 benchmark drives).
+    """
+
+    def __init__(
+        self,
+        embedder: ValueEmbedder,
+        threshold: float = 0.7,
+        solver: Optional[AssignmentSolver] = None,
+        representative_policy: str = "frequency",
+        exact_first: bool = True,
+    ) -> None:
+        self.embedder = embedder
+        self.threshold = threshold
+        self.representative_policy = representative_policy
+        self.exact_first = exact_first
+        self._matcher = BipartiteValueMatcher(
+            distance=EmbeddingDistance(embedder), threshold=threshold, solver=solver
+        )
+
+    # -- public API ---------------------------------------------------------------
+    def match_pair(
+        self, left: ColumnValues, right: ColumnValues
+    ) -> List[ValueMatch]:
+        """Bipartite matches between two columns (used directly by benchmarks)."""
+        if self.exact_first:
+            return self._matcher.match_exact_first(left.values, right.values)
+        return self._matcher.match(left.values, right.values)
+
+    def match_columns(self, columns: Sequence[ColumnValues]) -> ValueMatchingResult:
+        """Run the full sequential combined-column procedure over ``columns``."""
+        if not columns:
+            return ValueMatchingResult(sets=[], column_order={})
+        start = time.perf_counter()
+        column_order = {column.column_id: index for index, column in enumerate(columns)}
+        frequencies = self._global_frequencies(columns)
+        statistics: Dict[str, float] = {
+            "columns": float(len(columns)),
+            "values": float(sum(len(column) for column in columns)),
+        }
+
+        groups = [
+            _Group(members=[(columns[0].column_id, value)], representative=value)
+            for value in columns[0].values
+        ]
+
+        assignments = 0
+        accepted = 0
+        for column in columns[1:]:
+            combined_values = [group.representative for group in groups]
+            matches = (
+                self._matcher.match_exact_first(combined_values, column.values)
+                if self.exact_first
+                else self._matcher.match(combined_values, column.values)
+            )
+            assignments += 1
+            accepted += len(matches)
+
+            groups_by_representative: Dict[object, List[_Group]] = {}
+            for group in groups:
+                groups_by_representative.setdefault(group.representative, []).append(group)
+
+            matched_right = set()
+            for match in matches:
+                bucket = groups_by_representative.get(match.left)
+                if not bucket:
+                    continue
+                group = bucket.pop(0)
+                group.members.append((column.column_id, match.right))
+                group.representative = select_representative(
+                    group.members, frequencies, column_order, policy=self.representative_policy
+                )
+                matched_right.add(match.right)
+
+            for value in column.values:
+                if value not in matched_right:
+                    groups.append(_Group(members=[(column.column_id, value)], representative=value))
+
+        elapsed = time.perf_counter() - start
+        statistics["assignments"] = float(assignments)
+        statistics["accepted_matches"] = float(accepted)
+        statistics["match_sets"] = float(len(groups))
+        statistics["elapsed_seconds"] = elapsed
+
+        sets = [
+            ValueMatchSet(members=sorted(group.members, key=lambda key: (str(key[0]), str(key[1]))),
+                          representative=group.representative)
+            for group in groups
+        ]
+        sets.sort(key=lambda match_set: (str(match_set.members[0][0]), str(match_set.members[0][1])))
+        return ValueMatchingResult(sets=sets, column_order=column_order, statistics=statistics)
+
+    # -- helpers --------------------------------------------------------------------
+    @staticmethod
+    def _global_frequencies(columns: Sequence[ColumnValues]) -> Dict[object, int]:
+        """Occurrences of each surface value across all aligning columns."""
+        frequencies: Dict[object, int] = {}
+        for column in columns:
+            for value in column.values:
+                frequencies[value] = frequencies.get(value, 0) + column.counts.get(value, 1)
+        return frequencies

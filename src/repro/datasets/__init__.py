@@ -1,0 +1,30 @@
+"""Benchmark generators.
+
+The paper evaluates on three public resources that require downloads
+unavailable in this environment: the Auto-Join benchmark (31 integration sets
+of fuzzily-joinable columns over 17 topics), the ALITE open-data benchmark
+(with an entity-matching dataset), and an IMDB-based benchmark (6 tables,
+samples of 5K–30K tuples) for runtime.  This package generates seeded,
+deterministic stand-ins with the same structure and the same corruption
+classes (typos, case changes, abbreviations, synonyms, format changes), each
+with exact ground truth.  See DESIGN.md ("Substitutions") for the mapping.
+"""
+
+from repro.datasets.corruptions import CorruptionProfile, Corruptor
+from repro.datasets.vocabularies import Vocabulary, topic_names, topic_vocabulary
+from repro.datasets.autojoin import AutoJoinBenchmark, AutoJoinIntegrationSet
+from repro.datasets.alite_em import AliteEmBenchmark, EmIntegrationSet
+from repro.datasets.imdb import ImdbBenchmark
+
+__all__ = [
+    "Vocabulary",
+    "topic_names",
+    "topic_vocabulary",
+    "Corruptor",
+    "CorruptionProfile",
+    "AutoJoinBenchmark",
+    "AutoJoinIntegrationSet",
+    "AliteEmBenchmark",
+    "EmIntegrationSet",
+    "ImdbBenchmark",
+]

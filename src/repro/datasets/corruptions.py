@@ -1,0 +1,254 @@
+"""Value corruption generators.
+
+The fuzzy inconsistencies the paper targets — typos, case changes,
+abbreviations, synonyms, reformatting — are produced here deterministically
+from a seeded RNG.  A :class:`CorruptionProfile` describes the mix of
+corruption kinds one benchmark integration set applies (the Auto-Join
+benchmark's 31 sets exhibit different mixes: some are abbreviation joins, some
+are typo joins, some are format joins), and a :class:`Corruptor` applies a
+profile to individual values while remembering nothing — ground truth is the
+caller's responsibility, which keeps the generators honest.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.embeddings.lexicon import SemanticLexicon, default_lexicon
+from repro.utils.text import tokenize
+
+CorruptionKind = str
+
+#: The corruption kinds the generators know about.
+CORRUPTION_KINDS: Tuple[CorruptionKind, ...] = (
+    "identity",
+    "typo",
+    "case",
+    "abbreviation",
+    "synonym",
+    "format",
+    "prefix_suffix",
+    "hard",
+)
+
+
+@dataclass(frozen=True)
+class CorruptionProfile:
+    """A weighted mix of corruption kinds.
+
+    The weights need not sum to one; they are normalised when sampling.
+    """
+
+    name: str
+    weights: Dict[CorruptionKind, float]
+
+    def kinds(self) -> List[CorruptionKind]:
+        """The kinds with positive weight."""
+        return [kind for kind, weight in self.weights.items() if weight > 0]
+
+    def sample_kind(self, rng: random.Random) -> CorruptionKind:
+        """Sample one corruption kind according to the weights."""
+        kinds = list(self.weights)
+        weights = [max(0.0, self.weights[kind]) for kind in kinds]
+        total = sum(weights)
+        if total <= 0:
+            return "identity"
+        return rng.choices(kinds, weights=weights, k=1)[0]
+
+
+#: Profiles modelled after the classes of joins in the Auto-Join benchmark.
+#: Every profile carries a small share of "hard" corruptions (multiple edits,
+#: initialisms of names the lexicon does not know) — the real benchmark also
+#: contains pairs no embedding model resolves, which caps achievable recall.
+DEFAULT_PROFILES: Tuple[CorruptionProfile, ...] = (
+    CorruptionProfile("typos", {"typo": 0.55, "case": 0.2, "identity": 0.15, "hard": 0.1}),
+    CorruptionProfile("casing", {"case": 0.6, "identity": 0.25, "typo": 0.05, "hard": 0.1}),
+    CorruptionProfile(
+        "abbreviations", {"abbreviation": 0.6, "identity": 0.2, "case": 0.08, "hard": 0.12}
+    ),
+    CorruptionProfile(
+        "synonyms", {"synonym": 0.45, "abbreviation": 0.2, "identity": 0.23, "hard": 0.12}
+    ),
+    CorruptionProfile(
+        "formatting", {"format": 0.45, "prefix_suffix": 0.2, "identity": 0.25, "hard": 0.1}
+    ),
+    CorruptionProfile(
+        "mixed",
+        {
+            "typo": 0.18,
+            "case": 0.13,
+            "abbreviation": 0.22,
+            "format": 0.13,
+            "prefix_suffix": 0.09,
+            "identity": 0.13,
+            "hard": 0.12,
+        },
+    ),
+)
+
+
+class Corruptor:
+    """Applies corruption kinds to values, deterministically per seed."""
+
+    def __init__(self, lexicon: Optional[SemanticLexicon] = None, seed: int = 0) -> None:
+        self.lexicon = lexicon if lexicon is not None else default_lexicon()
+        self._rng = random.Random(seed)
+        self._handlers: Dict[CorruptionKind, Callable[[str, random.Random], str]] = {
+            "identity": lambda value, rng: value,
+            "typo": self._typo,
+            "case": self._case,
+            "abbreviation": self._abbreviation,
+            "synonym": self._synonym,
+            "format": self._format,
+            "prefix_suffix": self._prefix_suffix,
+            "hard": self._hard,
+        }
+
+    # -- public API ----------------------------------------------------------------
+    def corrupt(self, value: str, kind: CorruptionKind, rng: Optional[random.Random] = None) -> str:
+        """Apply one corruption kind to ``value`` (never returns an empty string)."""
+        rng = rng if rng is not None else self._rng
+        handler = self._handlers.get(kind)
+        if handler is None:
+            raise ValueError(f"unknown corruption kind {kind!r}; known: {CORRUPTION_KINDS}")
+        corrupted = handler(str(value), rng)
+        return corrupted if corrupted.strip() else str(value)
+
+    def corrupt_with_profile(
+        self, value: str, profile: CorruptionProfile, rng: Optional[random.Random] = None
+    ) -> Tuple[str, CorruptionKind]:
+        """Apply a profile-sampled corruption; returns (corrupted value, kind used)."""
+        rng = rng if rng is not None else self._rng
+        kind = profile.sample_kind(rng)
+        return self.corrupt(value, kind, rng), kind
+
+    # -- corruption kinds -------------------------------------------------------------
+    @staticmethod
+    def _typo(value: str, rng: random.Random) -> str:
+        """One character-level edit: duplicate, delete, swap or replace."""
+        if len(value) < 3:
+            return value + value[-1]
+        position = rng.randrange(1, len(value) - 1)
+        operation = rng.choice(("duplicate", "delete", "swap", "replace"))
+        characters = list(value)
+        if operation == "duplicate":
+            characters.insert(position, characters[position])
+        elif operation == "delete":
+            del characters[position]
+        elif operation == "swap":
+            characters[position], characters[position - 1] = (
+                characters[position - 1],
+                characters[position],
+            )
+        else:
+            replacement = rng.choice(string.ascii_lowercase)
+            characters[position] = replacement
+        return "".join(characters)
+
+    @staticmethod
+    def _case(value: str, rng: random.Random) -> str:
+        """Change the letter case of the whole value."""
+        choice = rng.choice(("lower", "upper", "title", "first_lower"))
+        if choice == "lower":
+            return value.lower()
+        if choice == "upper":
+            return value.upper()
+        if choice == "title":
+            return value.title()
+        return value[:1].lower() + value[1:]
+
+    def _abbreviation(self, value: str, rng: random.Random) -> str:
+        """Replace the value (or one of its tokens) with a known abbreviation.
+
+        Falls back to an initialism (multi-token values) or a truncated prefix
+        when the lexicon has no form for the value.
+        """
+        concept = self.lexicon.lookup(value)
+        if concept is not None:
+            alternatives = [form for form in self.lexicon.forms(concept) if form != str(value).lower()]
+            if alternatives:
+                return rng.choice(sorted(alternatives))
+        tokens = value.split()
+        # Token-level abbreviation (e.g. "Main Street" -> "Main St").
+        for index, token in enumerate(tokens):
+            token_concept = self.lexicon.lookup(token)
+            if token_concept is not None:
+                forms = [form for form in self.lexicon.forms(token_concept) if form != token.lower()]
+                short_forms = [form for form in forms if len(form) < len(token)]
+                if short_forms:
+                    replaced = list(tokens)
+                    replaced[index] = rng.choice(sorted(short_forms))
+                    return " ".join(replaced)
+        if len(tokens) >= 2:
+            return "".join(token[0].upper() for token in tokens if token)
+        if len(value) > 5:
+            return value[: max(3, len(value) // 2)] + "."
+        return value
+
+    def _synonym(self, value: str, rng: random.Random) -> str:
+        """Replace the value with another surface form of the same concept."""
+        concept = self.lexicon.lookup(value)
+        if concept is None:
+            # Token-level synonym replacement.
+            tokens = value.split()
+            for index, token in enumerate(tokens):
+                token_concept = self.lexicon.lookup(token)
+                if token_concept is not None:
+                    forms = [form for form in self.lexicon.forms(token_concept) if form != token.lower()]
+                    if forms:
+                        replaced = list(tokens)
+                        replaced[index] = rng.choice(sorted(forms))
+                        return " ".join(replaced)
+            return self._case(value, rng)
+        alternatives = [form for form in self.lexicon.forms(concept) if form != str(value).lower()]
+        if not alternatives:
+            return value
+        return rng.choice(sorted(alternatives))
+
+    @staticmethod
+    def _format(value: str, rng: random.Random) -> str:
+        """Reformat the value: reorder tokens, change separators, add punctuation."""
+        tokens = value.split()
+        choice = rng.choice(("comma_reorder", "hyphenate", "underscore", "strip_punct", "squeeze"))
+        if choice == "comma_reorder" and len(tokens) >= 2:
+            return f"{tokens[-1]}, {' '.join(tokens[:-1])}"
+        if choice == "hyphenate" and len(tokens) >= 2:
+            return "-".join(tokens)
+        if choice == "underscore" and len(tokens) >= 2:
+            return "_".join(tokens)
+        if choice == "strip_punct":
+            stripped = "".join(ch for ch in value if ch.isalnum() or ch.isspace())
+            return stripped or value
+        return "".join(tokens) if len(tokens) >= 2 else value
+
+    def _hard(self, value: str, rng: random.Random) -> str:
+        """A corruption no surface or lexicon knowledge resolves reliably.
+
+        Used to model the share of genuinely unresolvable pairs real fuzzy-join
+        benchmarks contain: initialisms of out-of-lexicon names, or several
+        stacked character edits.
+        """
+        tokens = value.split()
+        if len(tokens) >= 2 and rng.random() < 0.5 and self.lexicon.lookup(value) is None:
+            return "".join(token[0].upper() for token in tokens if token)
+        corrupted = value
+        for _ in range(3):
+            corrupted = self._typo(corrupted, rng)
+        return corrupted
+
+    @staticmethod
+    def _prefix_suffix(value: str, rng: random.Random) -> str:
+        """Add a small prefix or suffix (articles, qualifiers, years)."""
+        choice = rng.choice(("the", "year", "qualifier", "trim_article"))
+        if choice == "the" and not value.lower().startswith("the "):
+            return f"The {value}"
+        if choice == "year":
+            return f"{value} ({rng.randrange(1960, 2025)})"
+        if choice == "qualifier":
+            return f"{value} {rng.choice(('Jr.', 'II', 'Inc', 'City'))}"
+        if value.lower().startswith("the "):
+            return value[4:]
+        return f"{value} ({rng.randrange(1960, 2025)})"

@@ -1,0 +1,171 @@
+"""Synthetic IMDB benchmark (runtime / scalability, Figure 3).
+
+ALITE's efficiency benchmark samples rows from the public IMDB data dumps
+(6 tables, ~106M tuples in total) to build integration sets with 5K–30K input
+tuples and measures Full Disjunction runtime.  The dumps are not available
+offline, so this generator builds relationally-consistent tables in the same
+schema: ``title_basics``, ``title_ratings``, ``title_akas``,
+``title_principals``, ``name_basics`` and ``title_crew``, linked by ``tconst``
+(title key) and ``nconst`` (person key).  Like the original, it is an
+*equi-join* benchmark — there are no fuzzy inconsistencies — which is exactly
+what Figure 3 needs: the Fuzzy FD's Match Values component must still scan for
+fuzzy matches, and the experiment shows that this adds no significant
+overhead over regular FD.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from repro.datasets.vocabularies import topic_vocabulary
+from repro.table.nulls import NULL
+from repro.table.table import Table
+
+_TITLE_TYPES = ["movie", "tvSeries", "short", "tvMovie", "documentary"]
+_GENRES = ["Drama", "Comedy", "Action", "Thriller", "Romance", "Documentary", "Horror", "Sci-Fi"]
+_CATEGORIES = ["actor", "actress", "director", "writer", "producer", "composer"]
+_PROFESSIONS = ["actor", "actress", "director", "writer", "producer", "cinematographer"]
+_REGIONS = ["US", "GB", "DE", "FR", "ES", "IT", "IN", "JP", "BR", "CA"]
+
+#: Approximate share of the total tuple budget allotted to each table.
+_TABLE_SHARES: Dict[str, float] = {
+    "title_basics": 0.19,
+    "title_ratings": 0.15,
+    "title_akas": 0.12,
+    "title_principals": 0.28,
+    "name_basics": 0.15,
+    "title_crew": 0.11,
+}
+
+
+class ImdbBenchmark:
+    """Deterministic generator of IMDB-schema integration sets.
+
+    ``tables(total_tuples)`` returns the 6 tables sized so that the *total*
+    number of input tuples is approximately ``total_tuples`` — the quantity on
+    the X axis of the paper's Figure 3.
+    """
+
+    def __init__(self, seed: int = 13) -> None:
+        self.seed = seed
+
+    # -- public API -----------------------------------------------------------------
+    def tables(self, total_tuples: int) -> List[Table]:
+        """Generate the 6 IMDB tables totalling ≈ ``total_tuples`` rows."""
+        if total_tuples < 12:
+            raise ValueError("total_tuples must be at least 12")
+        rng = random.Random(self.seed * 104_729 + total_tuples)
+
+        n_basics = max(2, int(total_tuples * _TABLE_SHARES["title_basics"]))
+        n_ratings = max(1, int(total_tuples * _TABLE_SHARES["title_ratings"]))
+        n_akas = max(1, int(total_tuples * _TABLE_SHARES["title_akas"]))
+        n_principals = max(2, int(total_tuples * _TABLE_SHARES["title_principals"]))
+        n_names = max(2, int(total_tuples * _TABLE_SHARES["name_basics"]))
+        n_crew = max(1, int(total_tuples * _TABLE_SHARES["title_crew"]))
+
+        titles = [f"tt{index:07d}" for index in range(n_basics)]
+        people = [f"nm{index:07d}" for index in range(n_names)]
+        movie_names = self._movie_titles(n_basics, rng)
+        person_names = self._person_names(n_names, rng)
+
+        tables = [
+            self._title_basics(titles, movie_names, rng),
+            self._title_ratings(titles[:n_ratings], rng),
+            self._title_akas(titles, n_akas, movie_names, rng),
+            self._title_principals(titles, people, n_principals, rng),
+            self._name_basics(people, person_names, rng),
+            self._title_crew(titles[:n_crew], people, rng),
+        ]
+        return tables
+
+    def sweep_sizes(self, start: int = 5_000, stop: int = 30_000, step: int = 5_000) -> List[int]:
+        """The input-tuple counts of the paper's Figure 3 sweep."""
+        return list(range(start, stop + 1, step))
+
+    # -- table builders ----------------------------------------------------------------
+    @staticmethod
+    def _movie_titles(count: int, rng: random.Random) -> List[str]:
+        base = topic_vocabulary("movies").entities
+        return [f"{base[index % len(base)]} {index // len(base) + 1}" for index in range(count)]
+
+    @staticmethod
+    def _person_names(count: int, rng: random.Random) -> List[str]:
+        base = topic_vocabulary("athletes").entities
+        return [f"{base[index % len(base)]} {index // len(base) + 1}" for index in range(count)]
+
+    @staticmethod
+    def _title_basics(
+        titles: Sequence[str], movie_names: Sequence[str], rng: random.Random
+    ) -> Table:
+        rows = []
+        for index, tconst in enumerate(titles):
+            rows.append(
+                (
+                    tconst,
+                    movie_names[index],
+                    rng.choice(_TITLE_TYPES),
+                    str(rng.randrange(1950, 2025)),
+                    str(rng.randrange(40, 200)),
+                    rng.choice(_GENRES),
+                )
+            )
+        return Table(
+            "title_basics",
+            ["tconst", "primaryTitle", "titleType", "startYear", "runtimeMinutes", "genres"],
+            rows,
+        )
+
+    @staticmethod
+    def _title_ratings(titles: Sequence[str], rng: random.Random) -> Table:
+        rows = [
+            (tconst, f"{rng.uniform(1.0, 10.0):.1f}", str(rng.randrange(10, 2_000_000)))
+            for tconst in titles
+        ]
+        return Table("title_ratings", ["tconst", "averageRating", "numVotes"], rows)
+
+    @staticmethod
+    def _title_akas(
+        titles: Sequence[str], count: int, movie_names: Sequence[str], rng: random.Random
+    ) -> Table:
+        rows = []
+        for index in range(count):
+            title_index = rng.randrange(len(titles))
+            rows.append(
+                (
+                    titles[title_index],
+                    f"{movie_names[title_index]} ({rng.choice(_REGIONS)})",
+                    rng.choice(_REGIONS),
+                )
+            )
+        return Table("title_akas", ["tconst", "akaTitle", "region"], rows)
+
+    @staticmethod
+    def _title_principals(
+        titles: Sequence[str], people: Sequence[str], count: int, rng: random.Random
+    ) -> Table:
+        rows = []
+        for _ in range(count):
+            rows.append(
+                (
+                    rng.choice(titles),
+                    rng.choice(people),
+                    rng.choice(_CATEGORIES),
+                )
+            )
+        return Table("title_principals", ["tconst", "nconst", "category"], rows)
+
+    @staticmethod
+    def _name_basics(people: Sequence[str], person_names: Sequence[str], rng: random.Random) -> Table:
+        rows = []
+        for index, nconst in enumerate(people):
+            birth_year = str(rng.randrange(1920, 2005)) if rng.random() > 0.1 else NULL
+            rows.append((nconst, person_names[index], birth_year, rng.choice(_PROFESSIONS)))
+        return Table(
+            "name_basics", ["nconst", "primaryName", "birthYear", "primaryProfession"], rows
+        )
+
+    @staticmethod
+    def _title_crew(titles: Sequence[str], people: Sequence[str], rng: random.Random) -> Table:
+        rows = [(tconst, rng.choice(people)) for tconst in titles]
+        return Table("title_crew", ["tconst", "directorNconst"], rows)

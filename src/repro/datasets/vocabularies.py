@@ -1,0 +1,317 @@
+"""Topic vocabularies used by the synthetic benchmark generators.
+
+The Auto-Join benchmark covers 17 topics (songs, government officials, ...).
+Each topic here provides a pool of realistic entity surface forms: some pools
+are hard-coded (cities, chemical elements), most are expanded combinatorially
+from smaller word pools with a seeded RNG so that hundreds of distinct,
+plausible values are available per topic without shipping large data files.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.embeddings.lexicon import domain_groups
+
+_CITIES = [
+    "Berlin", "Toronto", "Barcelona", "New Delhi", "Boston", "Madrid", "Paris", "London",
+    "Rome", "Vienna", "Prague", "Lisbon", "Dublin", "Amsterdam", "Brussels", "Zurich",
+    "Geneva", "Munich", "Hamburg", "Frankfurt", "Stuttgart", "Cologne", "Warsaw", "Krakow",
+    "Budapest", "Athens", "Stockholm", "Oslo", "Copenhagen", "Helsinki", "Reykjavik",
+    "Moscow", "Kyiv", "Istanbul", "Ankara", "Cairo", "Casablanca", "Lagos", "Nairobi",
+    "Cape Town", "Johannesburg", "Tel Aviv", "Dubai", "Doha", "Riyadh", "Mumbai",
+    "Chennai", "Bangalore", "Kolkata", "Karachi", "Dhaka", "Bangkok", "Hanoi", "Singapore",
+    "Kuala Lumpur", "Jakarta", "Manila", "Tokyo", "Osaka", "Kyoto", "Seoul", "Busan",
+    "Beijing", "Shanghai", "Shenzhen", "Hong Kong", "Taipei", "Sydney", "Melbourne",
+    "Brisbane", "Perth", "Auckland", "Wellington", "Vancouver", "Montreal", "Ottawa",
+    "Calgary", "Edmonton", "New York", "Los Angeles", "Chicago", "Houston", "Phoenix",
+    "Philadelphia", "San Antonio", "San Diego", "Dallas", "Austin", "Seattle", "Denver",
+    "Detroit", "Atlanta", "Miami", "Minneapolis", "Portland", "Baltimore", "Milwaukee",
+    "Kansas City", "Sacramento", "Mexico City", "Guadalajara", "Bogota", "Lima", "Santiago",
+    "Buenos Aires", "Sao Paulo", "Rio de Janeiro", "Brasilia", "Montevideo", "Quito",
+]
+
+_CHEMICAL_ELEMENTS = [
+    "Hydrogen", "Helium", "Lithium", "Beryllium", "Boron", "Carbon", "Nitrogen", "Oxygen",
+    "Fluorine", "Neon", "Sodium", "Magnesium", "Aluminium", "Silicon", "Phosphorus",
+    "Sulfur", "Chlorine", "Argon", "Potassium", "Calcium", "Scandium", "Titanium",
+    "Vanadium", "Chromium", "Manganese", "Iron", "Cobalt", "Nickel", "Copper", "Zinc",
+    "Gallium", "Germanium", "Arsenic", "Selenium", "Bromine", "Krypton", "Rubidium",
+    "Strontium", "Yttrium", "Zirconium", "Niobium", "Molybdenum", "Silver", "Cadmium",
+    "Indium", "Tin", "Antimony", "Tellurium", "Iodine", "Xenon", "Cesium", "Barium",
+    "Tungsten", "Platinum", "Gold", "Mercury", "Thallium", "Lead", "Bismuth", "Uranium",
+]
+
+_PROGRAMMING_LANGUAGES = [
+    "Python", "Java", "JavaScript", "TypeScript", "Rust", "Go", "Kotlin", "Swift",
+    "Scala", "Haskell", "Erlang", "Elixir", "Clojure", "Ruby", "Perl", "PHP",
+    "Fortran", "Cobol", "Pascal", "Ada", "Prolog", "Lisp", "Scheme", "Julia",
+    "Matlab", "Octave", "Lua", "Groovy", "Dart", "Objective-C", "Visual Basic",
+    "Assembly", "Bash", "PowerShell", "SQL", "Smalltalk", "OCaml", "Racket",
+]
+
+_DISEASES = [
+    "Influenza", "Measles", "Mumps", "Rubella", "Polio", "Tetanus", "Diphtheria",
+    "Pertussis", "Hepatitis A", "Hepatitis B", "Hepatitis C", "Tuberculosis", "Malaria",
+    "Dengue Fever", "Yellow Fever", "Cholera", "Typhoid Fever", "Pneumonia", "Bronchitis",
+    "Asthma", "Diabetes", "Hypertension", "Arthritis", "Osteoporosis", "Anemia",
+    "Leukemia", "Lymphoma", "Melanoma", "Glaucoma", "Cataract", "Migraine", "Epilepsy",
+    "Parkinson Disease", "Alzheimer Disease", "Multiple Sclerosis", "Chickenpox",
+]
+
+_FIRST_NAMES = [
+    "James", "Mary", "John", "Patricia", "Robert", "Jennifer", "Michael", "Linda",
+    "William", "Elizabeth", "David", "Barbara", "Richard", "Susan", "Joseph", "Jessica",
+    "Thomas", "Sarah", "Charles", "Karen", "Christopher", "Nancy", "Daniel", "Lisa",
+    "Matthew", "Margaret", "Anthony", "Betty", "Mark", "Sandra", "Donald", "Ashley",
+    "Steven", "Dorothy", "Paul", "Kimberly", "Andrew", "Emily", "Joshua", "Donna",
+    "Kenneth", "Michelle", "Kevin", "Carol", "Brian", "Amanda", "George", "Melissa",
+    "Aamod", "Roee", "Renee", "Wolfgang", "Grace", "Fatemeh", "Erkang", "Yuliang",
+]
+
+_LAST_NAMES = [
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis",
+    "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson",
+    "Thomas", "Taylor", "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson",
+    "White", "Harris", "Sanchez", "Clark", "Ramirez", "Lewis", "Robinson", "Walker",
+    "Young", "Allen", "King", "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores",
+    "Green", "Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell",
+    "Carter", "Roberts", "Khatiwada", "Shraga", "Miller", "Gatterbauer", "Nargesian",
+]
+
+_COMPANY_WORDS = [
+    "Global", "United", "National", "Advanced", "Pacific", "Atlantic", "Northern",
+    "Southern", "Eastern", "Western", "Pioneer", "Summit", "Apex", "Vertex", "Quantum",
+    "Stellar", "Crystal", "Golden", "Silver", "Iron", "Granite", "Evergreen", "Horizon",
+    "Liberty", "Heritage", "Keystone", "Beacon", "Anchor", "Compass", "Meridian",
+]
+
+_COMPANY_SECTORS = [
+    "Data", "Energy", "Logistics", "Materials", "Dynamics", "Systems", "Solutions",
+    "Networks", "Industries", "Holdings", "Partners", "Ventures", "Analytics",
+    "Robotics", "Software", "Pharmaceuticals", "Aerospace", "Motors", "Foods",
+    "Textiles", "Semiconductors", "Biotech",
+]
+
+_SONG_ADJECTIVES = [
+    "Midnight", "Golden", "Broken", "Silent", "Electric", "Crimson", "Endless", "Lonely",
+    "Wild", "Frozen", "Burning", "Distant", "Fading", "Hollow", "Neon", "Paper",
+    "Silver", "Velvet", "Wicked", "Restless", "Shattered", "Tangled", "Gentle",
+]
+
+_SONG_NOUNS = [
+    "River", "Heart", "Sky", "Road", "Dream", "Fire", "Rain", "Shadow", "Echo",
+    "Summer", "Winter", "Ocean", "Mountain", "Star", "Moon", "Sun", "Storm",
+    "Garden", "Window", "Mirror", "Train", "Highway", "Harbor", "Lantern",
+]
+
+_MOVIE_NOUNS = [
+    "Empire", "Return", "Legacy", "Chronicles", "Awakening", "Reckoning", "Journey",
+    "Secret", "Promise", "Covenant", "Paradox", "Labyrinth", "Odyssey", "Requiem",
+    "Masquerade", "Expedition", "Uprising", "Sanctuary", "Eclipse", "Horizon",
+]
+
+_MOUNTAIN_NAMES = [
+    "Everest", "Kilimanjaro", "Denali", "Rainier", "Whitney", "Elbert", "Hood",
+    "Shasta", "Olympus", "Fuji", "Blanc", "Matterhorn", "Aconcagua", "Logan",
+    "Vinson", "Kosciuszko", "Etna", "Vesuvius", "Ararat", "Kenya",
+]
+
+_LAKE_NAMES = [
+    "Superior", "Michigan", "Huron", "Erie", "Ontario", "Victoria", "Tanganyika",
+    "Baikal", "Geneva", "Como", "Garda", "Titicaca", "Champlain", "Tahoe",
+    "Placid", "Powell", "Mead", "Okeechobee", "Winnipeg", "Ladoga",
+]
+
+_NEWSPAPER_SUFFIXES = ["Times", "Herald", "Post", "Tribune", "Gazette", "Chronicle", "Courier", "Observer"]
+_BANK_SUFFIXES = ["Bank", "Savings Bank", "Trust", "Financial Group", "Credit Union"]
+_CAR_BRANDS = [
+    "Ford", "Toyota", "Honda", "Chevrolet", "Nissan", "Volkswagen", "Hyundai", "Kia",
+    "Subaru", "Mazda", "Volvo", "Audi", "Porsche", "Jaguar", "Fiat", "Renault",
+]
+_CAR_MODELS = [
+    "Falcon", "Summit", "Voyager", "Pioneer", "Ranger", "Explorer", "Aurora", "Comet",
+    "Meteor", "Phantom", "Spirit", "Legend", "Vista", "Horizon", "Pulse", "Nova",
+]
+
+
+@dataclass
+class Vocabulary:
+    """A pool of distinct entity surface forms for one topic."""
+
+    topic: str
+    entities: List[str]
+
+    def sample(self, count: int, seed: int = 0) -> List[str]:
+        """Deterministically sample up to ``count`` distinct entities."""
+        rng = random.Random(seed)
+        if count >= len(self.entities):
+            return list(self.entities)
+        return rng.sample(self.entities, count)
+
+    def __len__(self) -> int:
+        return len(self.entities)
+
+
+def _person_names(rng: random.Random, count: int) -> List[str]:
+    names = set()
+    while len(names) < count:
+        names.add(f"{rng.choice(_FIRST_NAMES)} {rng.choice(_LAST_NAMES)}")
+    return sorted(names)
+
+
+def _combinations(rng: random.Random, count: int, left: Sequence[str], right: Sequence[str],
+                  pattern: str = "{left} {right}") -> List[str]:
+    values = set()
+    attempts = 0
+    while len(values) < count and attempts < count * 50:
+        attempts += 1
+        values.add(pattern.format(left=rng.choice(list(left)), right=rng.choice(list(right))))
+    return sorted(values)
+
+
+#: Topics whose entities are (or contain) concepts the semantic lexicon knows —
+#: abbreviation and synonym corruptions over these are resolvable only with
+#: semantic knowledge, which is where the LLM embedders pull ahead in Table 1.
+SEMANTIC_TOPICS = (
+    "countries",
+    "us_states",
+    "universities",
+    "organizations",
+    "currencies",
+    "measurement_units",
+    "music_genres",
+    "academic_degrees",
+    "departments",
+    "street_addresses",
+    "government_officials",
+    "companies",
+)
+
+#: Topics whose entities are arbitrary strings — only surface-level
+#: corruptions (typos, casing, formatting) apply to them.
+SURFACE_TOPICS = (
+    "cities",
+    "chemical_elements",
+    "programming_languages",
+    "diseases",
+    "athletes",
+    "musicians",
+    "songs",
+    "movies",
+    "airports",
+    "car_models",
+    "newspapers",
+    "banks",
+    "mountains",
+    "lakes",
+)
+
+
+def _street_addresses(rng: random.Random, count: int) -> List[str]:
+    suffixes = ["Street", "Avenue", "Boulevard", "Road", "Drive", "Lane", "Court", "Parkway"]
+    names = _LAST_NAMES + _COMPANY_WORDS + _MOUNTAIN_NAMES
+    addresses = set()
+    while len(addresses) < count:
+        addresses.add(f"{rng.randrange(1, 999)} {rng.choice(names)} {rng.choice(suffixes)}")
+    return sorted(addresses)
+
+
+def _build_topics(seed: int = 7, pool_size: int = 400) -> Dict[str, List[str]]:
+    rng = random.Random(seed)
+    domains = domain_groups()
+    countries = sorted(domains["countries"])
+    states = sorted(domains["us_states"])
+    universities = sorted(domains["universities"])
+    organizations = sorted(domains["organizations"])
+    currencies = sorted(domains["currencies"])
+    units = sorted(domains["units"])
+    genres = sorted(domains["genres"])
+    degrees = sorted(domains["degrees"])
+    departments = sorted(domains["departments"])
+    titles = sorted(domains["titles"])
+    company_suffixes = sorted(domains["company_suffixes"])
+
+    officials = [
+        f"{title.title()} {name}"
+        for title, name in zip(
+            [rng.choice(titles) for _ in range(pool_size)],
+            _person_names(rng, pool_size),
+        )
+    ]
+    companies = [
+        f"{base} {rng.choice(company_suffixes).title()}"
+        for base in _combinations(rng, pool_size, _COMPANY_WORDS, _COMPANY_SECTORS)
+    ]
+
+    topics: Dict[str, List[str]] = {
+        # Semantic topics (lexicon-backed).
+        "countries": [c.title() for c in countries],
+        "us_states": [s.title() for s in states],
+        "universities": [u.title() for u in universities],
+        "organizations": [o.title() for o in organizations],
+        "currencies": [c.title() for c in currencies],
+        "measurement_units": [u.title() for u in units],
+        "music_genres": [g.title() for g in genres],
+        "academic_degrees": [d.title() for d in degrees],
+        "departments": [d.title() for d in departments],
+        "street_addresses": _street_addresses(rng, 250),
+        "government_officials": sorted(set(officials)),
+        "companies": sorted(set(companies)),
+        # Surface topics (arbitrary strings).
+        "cities": list(_CITIES),
+        "chemical_elements": list(_CHEMICAL_ELEMENTS),
+        "programming_languages": list(_PROGRAMMING_LANGUAGES),
+        "diseases": list(_DISEASES),
+        "athletes": _person_names(random.Random(seed + 1), pool_size),
+        "musicians": _person_names(random.Random(seed + 2), pool_size),
+        "songs": _combinations(rng, pool_size, _SONG_ADJECTIVES, _SONG_NOUNS),
+        "movies": _combinations(rng, pool_size, _SONG_ADJECTIVES + ["The Last", "The First"], _MOVIE_NOUNS),
+        "airports": [f"{city} International Airport" for city in _CITIES[:120]],
+        "car_models": _combinations(rng, pool_size, _CAR_BRANDS, _CAR_MODELS),
+        "newspapers": _combinations(rng, 200, _CITIES, _NEWSPAPER_SUFFIXES),
+        "banks": _combinations(rng, 200, _COMPANY_WORDS + _CITIES[:40], _BANK_SUFFIXES),
+        "mountains": [f"Mount {name}" for name in _MOUNTAIN_NAMES]
+        + [f"{name} Peak" for name in _COMPANY_WORDS[:20]],
+        "lakes": [f"Lake {name}" for name in _LAKE_NAMES]
+        + [f"Lake {name}" for name in _LAST_NAMES[:30]],
+    }
+    return topics
+
+
+_TOPIC_CACHE: Dict[str, List[str]] | None = None
+
+
+def _topics() -> Dict[str, List[str]]:
+    global _TOPIC_CACHE
+    if _TOPIC_CACHE is None:
+        _TOPIC_CACHE = _build_topics()
+    return _TOPIC_CACHE
+
+
+def topic_names() -> List[str]:
+    """The available topic names (more than the paper's 17; generators pick 17)."""
+    return sorted(_topics())
+
+
+def topic_category(topic: str) -> str:
+    """``"semantic"`` for lexicon-backed topics, ``"surface"`` otherwise."""
+    if topic in SEMANTIC_TOPICS:
+        return "semantic"
+    if topic in SURFACE_TOPICS:
+        return "surface"
+    raise ValueError(f"unknown topic {topic!r}; available: {topic_names()}")
+
+
+def topic_vocabulary(topic: str) -> Vocabulary:
+    """The vocabulary of one topic.
+
+    >>> topic_vocabulary("cities").topic
+    'cities'
+    """
+    topics = _topics()
+    if topic not in topics:
+        raise ValueError(f"unknown topic {topic!r}; available: {topic_names()}")
+    return Vocabulary(topic=topic, entities=list(topics[topic]))

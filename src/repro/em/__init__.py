@@ -1,0 +1,26 @@
+"""Downstream entity matching over integrated tables.
+
+The paper's second experiment ("Downstreaming Task Effectiveness") runs entity
+matching over the table produced by Fuzzy FD and by regular FD and compares
+precision/recall/F1 against gold entity clusters.  This package provides the
+EM pipeline used for that experiment: candidate generation by blocking,
+pairwise record similarity, clustering of matched pairs into entities, and
+pairwise evaluation metrics.
+"""
+
+from repro.em.blocking import TokenBlocker
+from repro.em.matcher import RecordPairMatcher, RecordPair
+from repro.em.clustering import cluster_matches
+from repro.em.metrics import EntityMatchingScores, pairwise_scores
+from repro.em.pipeline import EntityMatchingPipeline, EntityMatchingResult
+
+__all__ = [
+    "TokenBlocker",
+    "RecordPairMatcher",
+    "RecordPair",
+    "cluster_matches",
+    "EntityMatchingScores",
+    "pairwise_scores",
+    "EntityMatchingPipeline",
+    "EntityMatchingResult",
+]

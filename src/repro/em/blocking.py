@@ -1,0 +1,62 @@
+"""Blocking: cheap candidate generation for entity matching.
+
+Comparing every pair of rows of an integrated table is quadratic; blocking
+restricts the comparisons to rows that share at least one (sufficiently rare)
+token in their textual attributes — the standard token-blocking scheme from
+the entity-resolution literature.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.table.nulls import is_null
+from repro.table.table import Table
+from repro.utils.text import tokenize
+
+
+class TokenBlocker:
+    """Token blocking over selected (or all) textual columns.
+
+    Parameters
+    ----------
+    columns:
+        Columns whose tokens define blocks; ``None`` uses every column.
+    max_block_size:
+        Blocks larger than this are discarded (ubiquitous tokens such as
+        "the" would otherwise reintroduce the quadratic blow-up).
+    """
+
+    def __init__(self, columns: Sequence[str] | None = None, max_block_size: int = 50) -> None:
+        self.columns = list(columns) if columns is not None else None
+        self.max_block_size = max_block_size
+
+    def blocks(self, table: Table) -> Dict[str, List[int]]:
+        """``token -> row ids`` for every token within the size limit."""
+        columns = self.columns if self.columns is not None else list(table.columns)
+        blocks: Dict[str, List[int]] = {}
+        for row_id in range(table.num_rows):
+            row = table.row(row_id)
+            for column in columns:
+                if column not in table.schema:
+                    continue
+                value = row[column]
+                if is_null(value):
+                    continue
+                for token in tokenize(value):
+                    blocks.setdefault(token, []).append(row_id)
+        return {
+            token: row_ids
+            for token, row_ids in blocks.items()
+            if len(row_ids) <= self.max_block_size
+        }
+
+    def candidate_pairs(self, table: Table) -> List[Tuple[int, int]]:
+        """Distinct row-id pairs sharing at least one blocking token."""
+        pairs: Set[Tuple[int, int]] = set()
+        for row_ids in self.blocks(table).values():
+            for index, left in enumerate(row_ids):
+                for right in row_ids[index + 1 :]:
+                    if left != right:
+                        pairs.add((min(left, right), max(left, right)))
+        return sorted(pairs)

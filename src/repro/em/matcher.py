@@ -1,0 +1,116 @@
+"""Pairwise record matching for the downstream entity-matching task."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.embeddings.base import ValueEmbedder
+from repro.table.nulls import is_null
+from repro.table.table import Row, Table
+from repro.utils.text import jaccard_similarity, normalized_edit_similarity, tokenize
+
+
+@dataclass(frozen=True)
+class RecordPair:
+    """One scored candidate pair of rows of the integrated table."""
+
+    left: int
+    right: int
+    score: float
+
+
+class RecordPairMatcher:
+    """Scores row pairs by a distinctiveness-weighted attribute similarity.
+
+    For each column where both rows are non-null, the value similarity is the
+    maximum of token-Jaccard and normalised edit similarity (optionally the
+    embedding cosine when an embedder is supplied).  Column contributions are
+    weighted by the column's *distinctiveness* in the table (fraction of
+    distinct non-null values): identifying attributes such as names weigh far
+    more than categorical attributes such as a role or a country, which is the
+    standard unsupervised heuristic for record matching without labelled
+    training pairs.  A coverage factor penalises pairs comparable on only a
+    small fraction of the schema.
+    """
+
+    def __init__(
+        self,
+        threshold: float = 0.65,
+        embedder: Optional[ValueEmbedder] = None,
+        min_shared_columns: int = 1,
+    ) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        self.threshold = threshold
+        self.embedder = embedder
+        self.min_shared_columns = min_shared_columns
+
+    # -- scoring ------------------------------------------------------------------
+    def value_similarity(self, left: object, right: object) -> float:
+        """Similarity of two attribute values in [0, 1]."""
+        if left == right:
+            return 1.0
+        lexical = max(
+            jaccard_similarity(tokenize(left), tokenize(right)),
+            normalized_edit_similarity(left, right),
+        )
+        if self.embedder is not None:
+            semantic = max(0.0, self.embedder.cosine_similarity(left, right))
+            return max(lexical, semantic)
+        return lexical
+
+    def column_weights(self, table: Table) -> Dict[str, float]:
+        """Distinctiveness weight per column (floored so no column is ignored)."""
+        weights: Dict[str, float] = {}
+        for column in table.columns:
+            values = table.column_values(column, dropna=True)
+            if not values:
+                weights[column] = 0.1
+                continue
+            distinct = len(set(values))
+            weights[column] = max(0.1, distinct / len(values))
+        return weights
+
+    def record_similarity(
+        self,
+        table: Table,
+        left_id: int,
+        right_id: int,
+        weights: Optional[Dict[str, float]] = None,
+    ) -> float:
+        """Similarity of two rows of ``table`` in [0, 1]."""
+        weights = weights if weights is not None else self.column_weights(table)
+        left_row = table.row(left_id)
+        right_row = table.row(right_id)
+        weighted_sum = 0.0
+        weight_total = 0.0
+        comparable = 0
+        for column in table.columns:
+            left_value = left_row[column]
+            right_value = right_row[column]
+            if is_null(left_value) or is_null(right_value):
+                continue
+            comparable += 1
+            weight = weights.get(column, 0.1)
+            weighted_sum += weight * self.value_similarity(left_value, right_value)
+            weight_total += weight
+        if comparable < self.min_shared_columns or weight_total == 0.0:
+            return 0.0
+        coverage = comparable / max(1, len(table.columns))
+        base = weighted_sum / weight_total
+        # Blend the per-attribute agreement with coverage so that pairs
+        # compared on very few attributes are penalised.
+        return base * (0.8 + 0.2 * coverage)
+
+    # -- matching -------------------------------------------------------------------
+    def match(self, table: Table, candidate_pairs: Sequence[Tuple[int, int]]) -> List[RecordPair]:
+        """Score candidate pairs and keep those at or above the threshold."""
+        weights = self.column_weights(table)
+        matches: List[RecordPair] = []
+        for left_id, right_id in candidate_pairs:
+            score = self.record_similarity(table, left_id, right_id, weights=weights)
+            if score >= self.threshold:
+                matches.append(RecordPair(left=left_id, right=right_id, score=score))
+        matches.sort(key=lambda pair: (-pair.score, pair.left, pair.right))
+        return matches

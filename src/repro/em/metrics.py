@@ -1,0 +1,71 @@
+"""Pairwise evaluation metrics for entity matching."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True)
+class EntityMatchingScores:
+    """Pairwise precision, recall and F1 of an entity-matching result."""
+
+    precision: float
+    recall: float
+    f1: float
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """Scores as a plain dictionary (handy for report tables)."""
+        return {
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+            "true_positives": float(self.true_positives),
+            "false_positives": float(self.false_positives),
+            "false_negatives": float(self.false_negatives),
+        }
+
+
+def _pairs_of(clusters: Iterable[Iterable[object]]) -> Set[FrozenSet[object]]:
+    pairs: Set[FrozenSet[object]] = set()
+    for cluster in clusters:
+        members = sorted(cluster, key=str)
+        for index, left in enumerate(members):
+            for right in members[index + 1 :]:
+                if left != right:
+                    pairs.add(frozenset((left, right)))
+    return pairs
+
+
+def pairwise_scores(
+    predicted_clusters: Iterable[Iterable[object]],
+    gold_clusters: Iterable[Iterable[object]],
+) -> EntityMatchingScores:
+    """Pairwise P/R/F1 between predicted and gold clusterings.
+
+    Items are arbitrary hashable identifiers (row ids, source tuple ids, ...);
+    a pair counts as positive when both items share a cluster.  Precision with
+    no predicted pairs and recall with no gold pairs are defined as 1.0, the
+    convention under which a perfect empty prediction is not penalised.
+    """
+    predicted_pairs = _pairs_of(predicted_clusters)
+    gold_pairs = _pairs_of(gold_clusters)
+
+    true_positives = len(predicted_pairs & gold_pairs)
+    false_positives = len(predicted_pairs - gold_pairs)
+    false_negatives = len(gold_pairs - predicted_pairs)
+
+    precision = true_positives / len(predicted_pairs) if predicted_pairs else 1.0
+    recall = true_positives / len(gold_pairs) if gold_pairs else 1.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall > 0 else 0.0
+    return EntityMatchingScores(
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        true_positives=true_positives,
+        false_positives=false_positives,
+        false_negatives=false_negatives,
+    )

@@ -1,0 +1,119 @@
+"""Embedder interface and embedding cache."""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+
+class ValueEmbedder(abc.ABC):
+    """Maps cell values to fixed-dimension unit vectors.
+
+    Subclasses implement :meth:`_embed_text`; callers use :meth:`embed` and
+    :meth:`embed_many`, which handle caching and normalisation.
+    """
+
+    #: Registry name of the model (e.g. ``"mistral"``); subclasses override.
+    name: str = "abstract"
+
+    def __init__(self, dimension: int = 256, cache: Optional["EmbeddingCache"] = None) -> None:
+        if dimension <= 0:
+            raise ValueError("embedding dimension must be positive")
+        self.dimension = dimension
+        self._cache = cache if cache is not None else EmbeddingCache()
+
+    # -- public API -----------------------------------------------------------------
+    def embed(self, value: object) -> np.ndarray:
+        """Return the unit-norm embedding of one cell value."""
+        text = "" if value is None else str(value)
+        cached = self._cache.get(self.name, text)
+        if cached is not None:
+            return cached
+        vector = np.asarray(self._embed_text(text), dtype=np.float64)
+        if vector.shape != (self.dimension,):
+            raise ValueError(
+                f"{self.name} produced shape {vector.shape}, expected ({self.dimension},)"
+            )
+        norm = np.linalg.norm(vector)
+        if norm > 0:
+            vector = vector / norm
+        self._cache.put(self.name, text, vector)
+        return vector
+
+    def embed_many(self, values: Sequence[object]) -> np.ndarray:
+        """Return an ``(n, dimension)`` matrix of embeddings for ``values``."""
+        if not values:
+            return np.zeros((0, self.dimension), dtype=np.float64)
+        return np.vstack([self.embed(value) for value in values])
+
+    def cosine_similarity(self, left: object, right: object) -> float:
+        """Cosine similarity between two values' embeddings."""
+        return float(np.dot(self.embed(left), self.embed(right)))
+
+    def cosine_distance(self, left: object, right: object) -> float:
+        """Cosine distance (1 - similarity), clipped to [0, 2]."""
+        return float(np.clip(1.0 - self.cosine_similarity(left, right), 0.0, 2.0))
+
+    # -- extension point --------------------------------------------------------------
+    @abc.abstractmethod
+    def _embed_text(self, text: str) -> np.ndarray:
+        """Embed a single (raw, un-normalised) string."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(dimension={self.dimension})"
+
+
+class EmbeddingCache:
+    """In-memory cache of embeddings keyed by (model name, raw text).
+
+    The LLM embedders in the real system are by far the most expensive part of
+    the pipeline; the paper's efficiency argument (Figure 3) assumes values are
+    embedded once.  The cache makes repeated integration runs over the same
+    tables (and the benchmark's repeated measurements) reflect that behaviour.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        self._store: Dict[tuple, np.ndarray] = {}
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def get(self, model: str, text: str) -> Optional[np.ndarray]:
+        """Return a cached vector or ``None``."""
+        vector = self._store.get((model, text))
+        if vector is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return vector
+
+    def put(self, model: str, text: str, vector: np.ndarray) -> None:
+        """Insert a vector, evicting arbitrary entries if over capacity."""
+        if self.max_entries is not None and len(self._store) >= self.max_entries:
+            # Simple eviction: drop the oldest inserted entry.
+            oldest = next(iter(self._store))
+            del self._store[oldest]
+        self._store[(model, text)] = vector
+
+    def clear(self) -> None:
+        """Drop every cached vector and reset the statistics."""
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Return hit/miss/size counters."""
+        return {"hits": self.hits, "misses": self.misses, "size": len(self._store)}
+
+
+def mean_pool(vectors: Iterable[np.ndarray], dimension: int) -> np.ndarray:
+    """Mean-pool a collection of vectors (returns zeros if empty)."""
+    stacked: List[np.ndarray] = [np.asarray(vector, dtype=np.float64) for vector in vectors]
+    if not stacked:
+        return np.zeros(dimension, dtype=np.float64)
+    return np.mean(np.vstack(stacked), axis=0)

@@ -1,0 +1,30 @@
+"""Exact-match embedder (equi-join behaviour).
+
+Every distinct raw string maps to its own pseudo-random direction, so two
+values are close (distance ≈ 0) only when they are exactly equal and far
+(distance ≈ 1) otherwise.  Plugging this embedder into the fuzzy pipeline
+degenerates it to the regular, equality-based Full Disjunction — useful both
+as a baseline and for testing that the pipeline leaves already-consistent
+values untouched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embeddings.base import ValueEmbedder
+from repro.utils.hashing import stable_vector
+
+
+class ExactEmbedder(ValueEmbedder):
+    """One direction per distinct raw value; no fuzziness at all."""
+
+    name = "exact"
+
+    def __init__(self, dimension: int = 64, cache=None) -> None:
+        super().__init__(dimension=dimension, cache=cache)
+
+    def _embed_text(self, text: str) -> np.ndarray:
+        # The raw text (not normalised) is hashed so that case differences —
+        # which an equi-join would not bridge — stay far apart.
+        return stable_vector(f"exact:{text}", self.dimension, seed=41)

@@ -1,0 +1,64 @@
+"""FastText-style character n-gram embedder.
+
+This follows the construction of the real fastText model (bag of character
+n-grams plus word tokens, averaged): each n-gram and token is hashed to a
+deterministic pseudo-random direction, the directions are summed and the sum
+is normalised.  Values that share most of their character n-grams — typos,
+case variants, values with small prefixes/suffixes added — end up close in
+cosine space; values with disjoint surfaces (abbreviations, synonyms) do not,
+which is exactly the weakness Table 1 of the paper shows for FastText.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.embeddings.base import ValueEmbedder
+from repro.utils.hashing import stable_vector
+from repro.utils.text import character_ngrams, normalize_value, tokenize
+
+
+class FastTextEmbedder(ValueEmbedder):
+    """Bag-of-character-n-grams embedding (word-level model baseline)."""
+
+    name = "fasttext"
+
+    def __init__(
+        self,
+        dimension: int = 256,
+        ngram_sizes: tuple = (3, 4, 5),
+        token_weight: float = 0.5,
+        noise_level: float = 0.05,
+        cache=None,
+    ) -> None:
+        super().__init__(dimension=dimension, cache=cache)
+        self.ngram_sizes = tuple(ngram_sizes)
+        self.token_weight = token_weight
+        self.noise_level = noise_level
+
+    def _embed_text(self, text: str) -> np.ndarray:
+        normalised = normalize_value(text)
+        if not normalised:
+            return stable_vector("__empty__", self.dimension, seed=11)
+
+        grams: List[str] = []
+        for size in self.ngram_sizes:
+            grams.extend(character_ngrams(normalised, n=size))
+        vector = np.zeros(self.dimension, dtype=np.float64)
+        for gram in grams:
+            vector += stable_vector(f"gram:{gram}", self.dimension, seed=17)
+        if grams:
+            vector /= np.sqrt(len(grams))
+
+        tokens = tokenize(normalised)
+        if tokens:
+            token_vector = np.zeros(self.dimension, dtype=np.float64)
+            for token in tokens:
+                token_vector += stable_vector(f"word:{token}", self.dimension, seed=19)
+            vector += self.token_weight * token_vector / np.sqrt(len(tokens))
+
+        if self.noise_level > 0:
+            vector += self.noise_level * stable_vector(f"noise:{self.name}:{text}", self.dimension, seed=23)
+        return vector

@@ -1,0 +1,26 @@
+"""Evaluation: value-matching metrics, runtime sweeps, report formatting.
+
+These are the harness pieces the benchmark scripts (``benchmarks/``) are built
+from, factored into the library so the same measurements can be reproduced
+programmatically (see ``examples/``) and unit-tested.
+"""
+
+from repro.evaluation.metrics import (
+    MatchingScores,
+    macro_average,
+    score_integration_set,
+    score_match_sets,
+)
+from repro.evaluation.runtime import RuntimePoint, runtime_sweep
+from repro.evaluation.reporting import format_markdown_table, format_scores_table
+
+__all__ = [
+    "MatchingScores",
+    "score_match_sets",
+    "score_integration_set",
+    "macro_average",
+    "RuntimePoint",
+    "runtime_sweep",
+    "format_markdown_table",
+    "format_scores_table",
+]

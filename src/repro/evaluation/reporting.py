@@ -1,0 +1,52 @@
+"""Plain-text / markdown report formatting for the benchmark harnesses."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from repro.evaluation.metrics import MatchingScores
+
+
+def format_markdown_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a simple GitHub-flavoured markdown table."""
+    cells = [[str(header) for header in headers]] + [
+        [str(value) for value in row] for row in rows
+    ]
+    widths = [max(len(row[index]) for row in cells) for index in range(len(headers))]
+
+    def render(row: Sequence[str]) -> str:
+        return "| " + " | ".join(value.ljust(width) for value, width in zip(row, widths)) + " |"
+
+    lines = [render(cells[0]), "|" + "|".join("-" * (width + 2) for width in widths) + "|"]
+    lines.extend(render(row) for row in cells[1:])
+    return "\n".join(lines)
+
+
+def format_scores_table(scores_by_model: Mapping[str, MatchingScores]) -> str:
+    """Render Table 1's layout: Model | Precision | Recall | F1-Score."""
+    rows: List[List[object]] = []
+    for model, scores in scores_by_model.items():
+        rows.append(
+            [model, f"{scores.precision:.2f}", f"{scores.recall:.2f}", f"{scores.f1:.2f}"]
+        )
+    return format_markdown_table(["Model", "Precision", "Recall", "F1-Score"], rows)
+
+
+def format_runtime_series(points: Sequence) -> str:
+    """Render the Figure 3 series: size | regular FD seconds | fuzzy FD seconds."""
+    by_size: Dict[int, Dict[str, float]] = {}
+    for point in points:
+        by_size.setdefault(point.input_tuples, {})[point.method] = point.seconds
+    rows = []
+    for size in sorted(by_size):
+        methods = by_size[size]
+        rows.append(
+            [
+                size,
+                f"{methods.get('regular_fd', float('nan')):.2f}",
+                f"{methods.get('fuzzy_fd', float('nan')):.2f}",
+            ]
+        )
+    return format_markdown_table(
+        ["Input tuples", "ALITE (regular FD) seconds", "Fuzzy FD seconds"], rows
+    )

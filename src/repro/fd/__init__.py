@@ -1,0 +1,72 @@
+"""Full Disjunction algorithms.
+
+Full Disjunction (FD) is the associative extension of the outer join
+introduced by Galindo-Legaria: it combines the tuples of a set of tables in a
+*maximal* way so that every input tuple is represented and no output tuple is
+subsumed by (i.e. strictly less informative than) another.
+
+This package provides four interchangeable implementations of the same
+semantics (outer union → complementation closure → subsumption removal):
+
+* :class:`~repro.fd.naive.NaiveFullDisjunction` — the definitional fixpoint;
+  quadratic pair scanning, used as the reference oracle in tests.
+* :class:`~repro.fd.alite.AliteFullDisjunction` — the paper's substrate [18]:
+  hash-indexed complementation with duplicate elimination, practical at the
+  IMDB-benchmark scale.
+* :class:`~repro.fd.incremental.IncrementalFullDisjunction` — decomposes the
+  input into connected components of the join-value graph and closes each
+  component independently.
+* :class:`~repro.fd.parallel.PartitionedFullDisjunction` — the component
+  decomposition executed by a pool of workers (Paganelli-style
+  parallelisation; falls back to sequential execution for small inputs).
+"""
+
+from repro.fd.base import FullDisjunctionAlgorithm, FullDisjunctionResult
+from repro.fd.naive import NaiveFullDisjunction, OuterJoinSequence
+from repro.fd.alite import AliteFullDisjunction
+from repro.fd.incremental import IncrementalFullDisjunction
+from repro.fd.parallel import PartitionedFullDisjunction
+from repro.fd.iterator import StreamingFullDisjunction
+
+__all__ = [
+    "FullDisjunctionAlgorithm",
+    "FullDisjunctionResult",
+    "NaiveFullDisjunction",
+    "OuterJoinSequence",
+    "AliteFullDisjunction",
+    "IncrementalFullDisjunction",
+    "PartitionedFullDisjunction",
+    "StreamingFullDisjunction",
+    "get_algorithm",
+    "available_algorithms",
+]
+
+
+_ALGORITHMS = {
+    "naive": NaiveFullDisjunction,
+    "outer_join_sequence": OuterJoinSequence,
+    "alite": AliteFullDisjunction,
+    "incremental": IncrementalFullDisjunction,
+    "partitioned": PartitionedFullDisjunction,
+    "streaming": StreamingFullDisjunction,
+}
+
+
+def available_algorithms() -> list:
+    """Names of the registered Full Disjunction algorithms."""
+    return sorted(_ALGORITHMS)
+
+
+def get_algorithm(name: str, **kwargs) -> FullDisjunctionAlgorithm:
+    """Instantiate a Full Disjunction algorithm by name.
+
+    >>> get_algorithm("alite").name
+    'alite'
+    """
+    try:
+        factory = _ALGORITHMS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown full disjunction algorithm {name!r}; available: {available_algorithms()}"
+        ) from None
+    return factory(**kwargs)

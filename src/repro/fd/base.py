@@ -1,0 +1,106 @@
+"""Shared interface and helpers for the Full Disjunction algorithms."""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.table.operations import outer_union
+from repro.table.subsumption import remove_subsumed
+from repro.table.table import Table
+
+
+@dataclass
+class FullDisjunctionResult:
+    """The outcome of a Full Disjunction integration.
+
+    Attributes
+    ----------
+    table:
+        The integrated table over the union schema.  Rows carry provenance
+        (the ``TIDs`` sets of the paper's Figure 1).
+    algorithm:
+        Name of the algorithm that produced the result.
+    input_tuple_count:
+        Total number of tuples across the input tables.
+    elapsed_seconds:
+        Wall-clock time of the integration.
+    statistics:
+        Algorithm-specific counters (complementation rounds, merges, ...).
+    """
+
+    table: Table
+    algorithm: str
+    input_tuple_count: int
+    elapsed_seconds: float
+    statistics: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def output_tuple_count(self) -> int:
+        """Number of tuples in the integrated table."""
+        return self.table.num_rows
+
+
+class FullDisjunctionAlgorithm(abc.ABC):
+    """Base class for Full Disjunction implementations.
+
+    Subclasses implement :meth:`_integrate` over an outer-unioned table and
+    inherit input validation, provenance bookkeeping, timing and final
+    subsumption removal from :meth:`integrate`.
+    """
+
+    #: Short registry name; subclasses override.
+    name: str = "abstract"
+
+    def __init__(self, result_name: str = "full_disjunction") -> None:
+        self.result_name = result_name
+
+    # -- public API ----------------------------------------------------------------
+    def integrate(self, tables: Sequence[Table]) -> FullDisjunctionResult:
+        """Integrate ``tables`` and return a :class:`FullDisjunctionResult`.
+
+        Input tables that lack provenance get default singleton provenance so
+        that each output tuple reports the set of source tuple ids it merged.
+        """
+        if not tables:
+            raise ValueError("integrate() requires at least one table")
+        prepared = [
+            table if table.provenance is not None else table.with_default_provenance()
+            for table in tables
+        ]
+        input_tuple_count = sum(table.num_rows for table in prepared)
+        start = time.perf_counter()
+        statistics: Dict[str, float] = {}
+        integrated = self._integrate(prepared, statistics)
+        integrated = remove_subsumed(integrated)
+        elapsed = time.perf_counter() - start
+        integrated = integrated.with_name(self.result_name)
+        return FullDisjunctionResult(
+            table=integrated,
+            algorithm=self.name,
+            input_tuple_count=input_tuple_count,
+            elapsed_seconds=elapsed,
+            statistics=statistics,
+        )
+
+    def __call__(self, tables: Sequence[Table]) -> Table:
+        """Convenience: integrate and return just the table."""
+        return self.integrate(tables).table
+
+    # -- extension point -------------------------------------------------------------
+    @abc.abstractmethod
+    def _integrate(self, tables: Sequence[Table], statistics: Dict[str, float]) -> Table:
+        """Produce the (possibly not yet subsumption-free) integrated table."""
+
+    # -- shared helpers ---------------------------------------------------------------
+    @staticmethod
+    def _outer_union(tables: Sequence[Table]) -> Table:
+        """Outer union of the inputs with plain nulls and preserved provenance."""
+        return outer_union(tables, name="outer_union")
+
+    @staticmethod
+    def shared_value_positions(table: Table) -> List[int]:
+        """All column positions of ``table`` (used to index join candidates)."""
+        return list(range(table.num_columns))

@@ -1,0 +1,52 @@
+"""Component-decomposed Full Disjunction.
+
+Tuples that never share a value in any aligned column can never be merged by
+complementation, directly or transitively.  The incremental algorithm exploits
+this: it partitions the outer-unioned tuples into connected components of the
+value-sharing graph and closes each component independently.  On key-joined
+workloads such as the IMDB benchmark the components are tiny (one per entity),
+so the closure touches far fewer candidate pairs than a global pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.fd.base import FullDisjunctionAlgorithm
+from repro.fd.complementation import ComplementationEngine, connected_components
+from repro.table.table import Provenance, RowValues, Table
+
+
+class IncrementalFullDisjunction(FullDisjunctionAlgorithm):
+    """Connected-component decomposition followed by per-component closure."""
+
+    name = "incremental"
+
+    def __init__(
+        self,
+        result_name: str = "full_disjunction",
+        max_tuples: int = 5_000_000,
+    ) -> None:
+        super().__init__(result_name)
+        self._engine = ComplementationEngine(max_tuples=max_tuples)
+
+    def _integrate(self, tables: Sequence[Table], statistics: Dict[str, float]) -> Table:
+        union = self._outer_union(tables)
+        provenance = union.provenance or [
+            frozenset({f"{union.name}:{index}"}) for index in range(union.num_rows)
+        ]
+        components = connected_components(union.rows)
+        statistics["outer_union_tuples"] = float(union.num_rows)
+        statistics["components"] = float(len(components))
+
+        rows: List[RowValues] = []
+        prov: List[Provenance] = []
+        for component in components:
+            component_rows = [union.rows[index] for index in component]
+            component_prov = [provenance[index] for index in component]
+            closed_rows, closed_prov = self._engine.close(
+                component_rows, component_prov, statistics
+            )
+            rows.extend(closed_rows)
+            prov.extend(closed_prov)
+        return Table(self.result_name, union.schema, rows, provenance=prov)

@@ -1,0 +1,75 @@
+"""Partition-parallel Full Disjunction (after Paganelli et al. 2019).
+
+The component decomposition of :mod:`repro.fd.incremental` makes the closure
+embarrassingly parallel: every connected component is an independent work
+unit.  This implementation distributes components over a thread pool.  Because
+the closure is pure Python the speed-up on CPython is modest (the GIL), but
+the structure mirrors the paper's parallelisation baseline and allows the
+ablation benchmark to compare the partitioning strategies; for single-threaded
+use it degrades gracefully to the incremental algorithm.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Sequence, Tuple
+
+from repro.fd.base import FullDisjunctionAlgorithm
+from repro.fd.complementation import ComplementationEngine, connected_components
+from repro.table.table import Provenance, RowValues, Table
+
+
+class PartitionedFullDisjunction(FullDisjunctionAlgorithm):
+    """Per-component complementation executed by a worker pool."""
+
+    name = "partitioned"
+
+    def __init__(
+        self,
+        result_name: str = "full_disjunction",
+        max_tuples: int = 5_000_000,
+        max_workers: int = 4,
+        min_parallel_components: int = 8,
+    ) -> None:
+        super().__init__(result_name)
+        self._engine = ComplementationEngine(max_tuples=max_tuples)
+        self.max_workers = max_workers
+        self.min_parallel_components = min_parallel_components
+
+    def _integrate(self, tables: Sequence[Table], statistics: Dict[str, float]) -> Table:
+        union = self._outer_union(tables)
+        provenance = union.provenance or [
+            frozenset({f"{union.name}:{index}"}) for index in range(union.num_rows)
+        ]
+        components = connected_components(union.rows)
+        statistics["outer_union_tuples"] = float(union.num_rows)
+        statistics["components"] = float(len(components))
+
+        work: List[Tuple[List[RowValues], List[Provenance]]] = [
+            (
+                [union.rows[index] for index in component],
+                [provenance[index] for index in component],
+            )
+            for component in components
+        ]
+
+        rows: List[RowValues] = []
+        prov: List[Provenance] = []
+        if len(work) < self.min_parallel_components or self.max_workers <= 1:
+            for component_rows, component_prov in work:
+                closed_rows, closed_prov = self._engine.close(
+                    component_rows, component_prov, statistics
+                )
+                rows.extend(closed_rows)
+                prov.extend(closed_prov)
+        else:
+            def close_one(item: Tuple[List[RowValues], List[Provenance]]):
+                return self._engine.close(item[0], item[1])
+
+            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                for closed_rows, closed_prov in pool.map(close_one, work):
+                    rows.extend(closed_rows)
+                    prov.extend(closed_prov)
+            statistics["parallel_workers"] = float(self.max_workers)
+
+        return Table(self.result_name, union.schema, rows, provenance=prov)

@@ -1,0 +1,47 @@
+"""Fuzzy value matching machinery.
+
+This package implements the building blocks of the paper's *Match Values*
+component (Sec. 2.2): distance functions between cell values (cosine distance
+over embeddings, plus lexical baselines), optimal bipartite assignment between
+the value sets of two aligned columns (scipy's linear sum assignment, an
+independent Hungarian implementation, and a greedy baseline), and the
+bookkeeping that accumulates pairwise matches into disjoint value-match sets.
+"""
+
+from repro.matching.assignment import (
+    AssignmentSolver,
+    GreedyAssignment,
+    HungarianAssignment,
+    ScipyAssignment,
+    get_assignment_solver,
+)
+from repro.matching.bipartite import BipartiteValueMatcher, ValueMatch
+from repro.matching.blocking import BlockedValueMatcher, BlockingStatistics, ValueBlocker
+from repro.matching.clustering import MatchSetBuilder, ValueMatchSet
+from repro.matching.distance import (
+    DistanceFunction,
+    EmbeddingDistance,
+    JaccardTokenDistance,
+    LevenshteinDistance,
+    cosine_distance_matrix,
+)
+
+__all__ = [
+    "DistanceFunction",
+    "EmbeddingDistance",
+    "LevenshteinDistance",
+    "JaccardTokenDistance",
+    "cosine_distance_matrix",
+    "AssignmentSolver",
+    "ScipyAssignment",
+    "HungarianAssignment",
+    "GreedyAssignment",
+    "get_assignment_solver",
+    "BipartiteValueMatcher",
+    "BlockedValueMatcher",
+    "ValueBlocker",
+    "BlockingStatistics",
+    "ValueMatch",
+    "MatchSetBuilder",
+    "ValueMatchSet",
+]

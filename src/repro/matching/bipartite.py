@@ -1,0 +1,114 @@
+"""Bipartite value matching between two aligned columns.
+
+Given the (distinct) value sets of two aligned columns, a distance function
+and the matching threshold θ of Definition 2, the matcher computes the full
+distance matrix, solves the optimal assignment, and keeps only the matched
+pairs whose distance is strictly below θ — exactly the procedure of the
+paper's Example 3 (the India/US pair produced by the assignment is discarded
+because its distance exceeds the threshold).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.matching.assignment import AssignmentSolver, ScipyAssignment
+from repro.matching.distance import DistanceFunction
+
+
+@dataclass(frozen=True)
+class ValueMatch:
+    """One accepted fuzzy match between a value of the left and right column."""
+
+    left: object
+    right: object
+    distance: float
+
+    def as_tuple(self) -> tuple:
+        """Return ``(left, right)`` for quick set comparisons in tests."""
+        return (self.left, self.right)
+
+
+class BipartiteValueMatcher:
+    """Optimal bipartite matching between two value lists under a threshold.
+
+    Parameters
+    ----------
+    distance:
+        A :class:`~repro.matching.distance.DistanceFunction` (typically the
+        cosine distance over a cell-value embedder).
+    threshold:
+        The matching threshold θ; pairs at distance ≥ θ are discarded.  The
+        paper reports θ = 0.7 as the best-performing setting.
+    solver:
+        Assignment solver; defaults to scipy's linear sum assignment as in the
+        paper.
+    """
+
+    def __init__(
+        self,
+        distance: DistanceFunction,
+        threshold: float = 0.7,
+        solver: Optional[AssignmentSolver] = None,
+    ) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        self.distance = distance
+        self.threshold = threshold
+        self.solver = solver if solver is not None else ScipyAssignment()
+
+    def match(
+        self,
+        left_values: Sequence[object],
+        right_values: Sequence[object],
+    ) -> List[ValueMatch]:
+        """Match two value lists; returns accepted matches sorted by distance.
+
+        Duplicate values inside a column are expected to have been collapsed
+        by the caller (the clean-clean assumption of the paper); the matcher
+        nevertheless tolerates duplicates by matching positions.
+        """
+        if not left_values or not right_values:
+            return []
+        cost = self.distance.matrix(left_values, right_values)
+        pairs = self.solver.solve(cost)
+        matches: List[ValueMatch] = []
+        for row, col in pairs:
+            pair_distance = float(cost[row, col])
+            if pair_distance < self.threshold:
+                matches.append(
+                    ValueMatch(left=left_values[row], right=right_values[col], distance=pair_distance)
+                )
+        matches.sort(key=lambda match: (match.distance, str(match.left), str(match.right)))
+        return matches
+
+    def match_exact_first(
+        self,
+        left_values: Sequence[object],
+        right_values: Sequence[object],
+    ) -> List[ValueMatch]:
+        """Match identical values first, then fuzzily match the remainder.
+
+        Exact duplicates across the two columns are always correct matches and
+        fixing them first both speeds up the assignment (smaller matrix) and
+        prevents the optimal assignment from "stealing" an exact partner for a
+        marginally cheaper fuzzy pair.  This is the variant the Fuzzy FD
+        pipeline uses by default.
+        """
+        left_index = {value: position for position, value in enumerate(left_values)}
+        matches: List[ValueMatch] = []
+        right_remaining: List[object] = []
+        matched_left = set()
+        for value in right_values:
+            if value in left_index and value not in matched_left:
+                matches.append(ValueMatch(left=value, right=value, distance=0.0))
+                matched_left.add(value)
+            else:
+                right_remaining.append(value)
+        left_remaining = [value for value in left_values if value not in matched_left]
+        matches.extend(self.match(left_remaining, right_remaining))
+        matches.sort(key=lambda match: (match.distance, str(match.left), str(match.right)))
+        return matches

@@ -1,0 +1,49 @@
+"""Header-based schema matching (trivial baseline).
+
+Groups columns whose (normalised) headers are identical.  This is the
+alignment the paper's Figure 1 assumes for presentation ("columns that align
+are given the same name"), and it is the baseline the holistic matcher is an
+improvement over when headers are unreliable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.schema_matching.alignment import AlignedColumn, ColumnAlignment, ColumnRef
+from repro.table.table import Table
+from repro.utils.text import normalize_value
+
+
+class HeaderSchemaMatcher:
+    """Aligns columns by exact (normalised) header equality."""
+
+    name = "header"
+
+    def align(self, tables: Sequence[Table]) -> ColumnAlignment:
+        """Return the alignment grouping equal headers across tables."""
+        groups: Dict[str, AlignedColumn] = {}
+        used_names: Dict[str, str] = {}
+        for table in tables:
+            for column in table.columns:
+                key = normalize_value(column)
+                if key not in groups:
+                    # Keep the first-seen original spelling as the canonical name,
+                    # disambiguating if two different headers normalise identically.
+                    canonical = column
+                    if canonical in used_names and used_names[canonical] != key:
+                        canonical = f"{column}__{len(groups)}"
+                    used_names[canonical] = key
+                    groups[key] = AlignedColumn(name=canonical)
+                group = groups[key]
+                if group.column_in(table.name) is None:
+                    group.members.append(ColumnRef(table=table.name, column=column))
+                else:
+                    # Same table has two columns normalising to the same header:
+                    # keep the extra column as its own singleton group.
+                    singleton_name = f"{table.name}.{column}"
+                    groups[f"{key}::{singleton_name}"] = AlignedColumn(
+                        name=singleton_name,
+                        members=[ColumnRef(table=table.name, column=column)],
+                    )
+        return ColumnAlignment(groups.values())

@@ -1,0 +1,142 @@
+"""Holistic (content-embedding-based) schema matching.
+
+Following ALITE, which applies holistic schema matching over column-based
+pre-trained embeddings, columns of all input tables are clustered by the
+similarity of their :class:`~repro.schema_matching.column_features.ColumnSignature`
+subject to the structural constraint that a cluster contains at most one
+column per table (columns of the same table never align with each other).
+
+The clustering is constrained agglomerative: all cross-table column pairs are
+sorted by similarity and merged greedily while they stay above the similarity
+threshold and respect the one-column-per-table constraint.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.embeddings.base import ValueEmbedder
+from repro.embeddings.fasttext import FastTextEmbedder
+from repro.schema_matching.alignment import AlignedColumn, ColumnAlignment, ColumnRef
+from repro.schema_matching.column_features import ColumnSignature, all_signatures
+from repro.table.table import Table
+from repro.utils.text import normalize_value
+
+
+class HolisticSchemaMatcher:
+    """Constraint-aware agglomerative clustering of column signatures.
+
+    Parameters
+    ----------
+    embedder:
+        Embedder used for column-content signatures (defaults to the cheap
+        FastText simulator — column alignment needs topical similarity, not
+        the fine-grained semantics the value matcher needs).
+    similarity_threshold:
+        Minimum signature similarity for two columns (or clusters) to merge.
+    header_bonus:
+        Added to the similarity of column pairs whose normalised headers are
+        equal; models the fact that consistent headers, when present, are
+        strong evidence.
+    sample_size:
+        Number of distinct values sampled per column for the signature.
+    """
+
+    name = "holistic"
+
+    def __init__(
+        self,
+        embedder: Optional[ValueEmbedder] = None,
+        similarity_threshold: float = 0.62,
+        header_bonus: float = 0.15,
+        sample_size: int = 30,
+    ) -> None:
+        self.embedder = embedder if embedder is not None else FastTextEmbedder()
+        self.similarity_threshold = similarity_threshold
+        self.header_bonus = header_bonus
+        self.sample_size = sample_size
+
+    # -- public API -------------------------------------------------------------------
+    def align(self, tables: Sequence[Table]) -> ColumnAlignment:
+        """Cluster the columns of ``tables`` into aligned groups."""
+        signatures = all_signatures(tables, self.embedder, sample_size=self.sample_size)
+        pair_scores = self._pair_scores(signatures)
+
+        clusters: Dict[int, Set[int]] = {index: {index} for index in range(len(signatures))}
+        cluster_of: Dict[int, int] = {index: index for index in range(len(signatures))}
+
+        for score, left, right in pair_scores:
+            if score < self.similarity_threshold:
+                break
+            left_cluster = cluster_of[left]
+            right_cluster = cluster_of[right]
+            if left_cluster == right_cluster:
+                continue
+            if self._tables_conflict(clusters[left_cluster], clusters[right_cluster], signatures):
+                continue
+            # Merge the smaller cluster into the larger one.
+            if len(clusters[left_cluster]) < len(clusters[right_cluster]):
+                left_cluster, right_cluster = right_cluster, left_cluster
+            for index in clusters[right_cluster]:
+                cluster_of[index] = left_cluster
+            clusters[left_cluster] |= clusters.pop(right_cluster)
+
+        return self._to_alignment(clusters, signatures)
+
+    # -- internals ----------------------------------------------------------------------
+    def _pair_scores(
+        self, signatures: List[ColumnSignature]
+    ) -> List[Tuple[float, int, int]]:
+        scored: List[Tuple[float, int, int]] = []
+        for left in range(len(signatures)):
+            for right in range(left + 1, len(signatures)):
+                sig_left = signatures[left]
+                sig_right = signatures[right]
+                if sig_left.table == sig_right.table:
+                    continue
+                score = sig_left.similarity(sig_right)
+                if normalize_value(sig_left.column) == normalize_value(sig_right.column):
+                    score = min(1.0, score + self.header_bonus)
+                scored.append((score, left, right))
+        scored.sort(key=lambda item: (-item[0], item[1], item[2]))
+        return scored
+
+    @staticmethod
+    def _tables_conflict(
+        left_members: Set[int], right_members: Set[int], signatures: List[ColumnSignature]
+    ) -> bool:
+        left_tables = {signatures[index].table for index in left_members}
+        right_tables = {signatures[index].table for index in right_members}
+        return bool(left_tables & right_tables)
+
+    @staticmethod
+    def _to_alignment(
+        clusters: Dict[int, Set[int]], signatures: List[ColumnSignature]
+    ) -> ColumnAlignment:
+        groups: List[AlignedColumn] = []
+        used_names: Set[str] = set()
+        ordered_clusters = sorted(clusters.values(), key=lambda members: min(members))
+        for members in ordered_clusters:
+            ordered = sorted(members)
+            refs = [
+                ColumnRef(table=signatures[index].table, column=signatures[index].column)
+                for index in ordered
+            ]
+            # Canonical name: the most common header in the group, first-seen on ties.
+            header_counts: Dict[str, int] = {}
+            first_position: Dict[str, int] = {}
+            for position, ref in enumerate(refs):
+                header_counts[ref.column] = header_counts.get(ref.column, 0) + 1
+                first_position.setdefault(ref.column, position)
+            canonical = min(
+                header_counts,
+                key=lambda header: (-header_counts[header], first_position[header]),
+            )
+            name = canonical
+            suffix = 1
+            while name in used_names:
+                suffix += 1
+                name = f"{canonical}_{suffix}"
+            used_names.add(name)
+            groups.append(AlignedColumn(name=name, members=refs))
+        return ColumnAlignment(groups)

@@ -1,0 +1,109 @@
+"""Null handling for data-lake tables.
+
+Full Disjunction literature distinguishes *plain* nulls (missing values in the
+input) from *labelled* nulls introduced by the outer union: a labelled null
+marks "this attribute does not exist in the source table of this tuple", and
+two labelled nulls never compare equal.  ALITE [18] relies on labelled nulls
+during complementation; this module provides both kinds behind two small
+predicates (:func:`is_null`, :func:`non_null`) that the rest of the code uses
+so it never has to care which flavour it is looking at.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, List, TypeVar
+
+T = TypeVar("T")
+
+
+class _NullType:
+    """Singleton plain null (missing value).
+
+    Compares equal only to itself, is falsy, and renders as ``⊥`` the way the
+    paper's Figure 1 prints missing attributes.
+    """
+
+    _instance: "_NullType | None" = None
+
+    def __new__(cls) -> "_NullType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "NULL"
+
+    def __str__(self) -> str:
+        return "⊥"
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __hash__(self) -> int:
+        return hash("__repro_null__")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _NullType)
+
+    def __lt__(self, other: object) -> bool:
+        # Nulls sort before everything else so deterministic row ordering works.
+        return not isinstance(other, _NullType)
+
+
+NULL = _NullType()
+
+_label_counter = itertools.count(1)
+
+
+class LabeledNull:
+    """A labelled (marked) null, unique per label.
+
+    Two labelled nulls are equal only if they carry the same label; a labelled
+    null is never equal to a plain null or to a constant.  Labelled nulls are
+    produced by :func:`repro.table.operations.outer_union` and consumed by the
+    ALITE complementation step.
+    """
+
+    __slots__ = ("label",)
+
+    def __init__(self, label: int | None = None) -> None:
+        self.label = next(_label_counter) if label is None else label
+
+    def __repr__(self) -> str:
+        return f"LabeledNull({self.label})"
+
+    def __str__(self) -> str:
+        return f"⊥{self.label}"
+
+    def __hash__(self) -> int:
+        return hash(("__repro_labeled_null__", self.label))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, LabeledNull) and other.label == self.label
+
+    def __lt__(self, other: object) -> bool:
+        if isinstance(other, _NullType):
+            return False
+        if isinstance(other, LabeledNull):
+            return self.label < other.label
+        return True
+
+
+def is_null(value: object) -> bool:
+    """Return ``True`` for plain nulls, labelled nulls, ``None`` and NaN."""
+    if value is None or isinstance(value, (_NullType, LabeledNull)):
+        return True
+    if isinstance(value, float) and value != value:  # NaN
+        return True
+    return False
+
+
+def non_null(values: Iterable[T]) -> List[T]:
+    """Return the non-null entries of ``values`` preserving order."""
+    return [value for value in values if not is_null(value)]
+
+
+def fresh_labeled_null() -> LabeledNull:
+    """Return a labelled null with a process-unique label."""
+    return LabeledNull()

@@ -1,0 +1,100 @@
+"""Relational schemas (ordered, named columns)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+
+class Schema:
+    """An ordered collection of distinct column names.
+
+    The schema is immutable; operations that "modify" it return new instances.
+    Column order matters for presentation (CSV output, examples) but relational
+    operations treat schemas as sets where appropriate.
+    """
+
+    __slots__ = ("_columns", "_positions")
+
+    def __init__(self, columns: Iterable[str]) -> None:
+        column_list = [str(column) for column in columns]
+        seen: Dict[str, int] = {}
+        for position, column in enumerate(column_list):
+            if column in seen:
+                raise ValueError(f"duplicate column name {column!r} in schema {column_list!r}")
+            seen[column] = position
+        self._columns: Tuple[str, ...] = tuple(column_list)
+        self._positions: Dict[str, int] = seen
+
+    # -- basic container protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._columns)
+
+    def __contains__(self, column: str) -> bool:
+        return column in self._positions
+
+    def __getitem__(self, index: int) -> str:
+        return self._columns[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Schema):
+            return self._columns == other._columns
+        if isinstance(other, (list, tuple)):
+            return self._columns == tuple(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._columns)
+
+    def __repr__(self) -> str:
+        return f"Schema({list(self._columns)!r})"
+
+    # -- accessors ----------------------------------------------------------------
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        """The column names, in order."""
+        return self._columns
+
+    def position(self, column: str) -> int:
+        """Return the index of ``column``; raises ``KeyError`` if absent."""
+        try:
+            return self._positions[column]
+        except KeyError:
+            raise KeyError(f"column {column!r} not in schema {list(self._columns)!r}") from None
+
+    def positions(self, columns: Sequence[str]) -> List[int]:
+        """Return the indexes of several columns, in the given order."""
+        return [self.position(column) for column in columns]
+
+    # -- set-style operations -----------------------------------------------------
+    def intersection(self, other: "Schema | Sequence[str]") -> List[str]:
+        """Columns present in both schemas, in this schema's order."""
+        other_set = set(other)
+        return [column for column in self._columns if column in other_set]
+
+    def union(self, other: "Schema | Sequence[str]") -> "Schema":
+        """Columns of this schema followed by the columns only in ``other``."""
+        merged = list(self._columns)
+        present = set(merged)
+        for column in other:
+            if column not in present:
+                merged.append(column)
+                present.add(column)
+        return Schema(merged)
+
+    def difference(self, other: "Schema | Sequence[str]") -> List[str]:
+        """Columns of this schema that are not in ``other``, in order."""
+        other_set = set(other)
+        return [column for column in self._columns if column not in other_set]
+
+    def renamed(self, mapping: Dict[str, str]) -> "Schema":
+        """Return a schema with columns renamed per ``mapping`` (others kept)."""
+        return Schema([mapping.get(column, column) for column in self._columns])
+
+    def project(self, columns: Sequence[str]) -> "Schema":
+        """Return a schema restricted to ``columns`` (validates membership)."""
+        for column in columns:
+            self.position(column)
+        return Schema(columns)

@@ -1,0 +1,33 @@
+"""Shared low-level utilities used across the repro package.
+
+The utilities here are intentionally dependency-light: text normalisation and
+string-distance helpers, a union-find (disjoint-set) structure used by value
+and entity clustering, deterministic hashing used by the simulated embedding
+models, and small timing helpers used by the benchmark harnesses.
+"""
+
+from repro.utils.hashing import stable_hash, stable_hash_floats
+from repro.utils.text import (
+    character_ngrams,
+    damerau_levenshtein,
+    jaccard_similarity,
+    levenshtein,
+    normalize_value,
+    tokenize,
+)
+from repro.utils.timer import Timer, timed
+from repro.utils.unionfind import UnionFind
+
+__all__ = [
+    "UnionFind",
+    "Timer",
+    "timed",
+    "stable_hash",
+    "stable_hash_floats",
+    "normalize_value",
+    "tokenize",
+    "character_ngrams",
+    "levenshtein",
+    "damerau_levenshtein",
+    "jaccard_similarity",
+]

@@ -1,0 +1,81 @@
+"""Deterministic hashing helpers.
+
+Python's built-in ``hash`` for strings is randomised per process, which would
+make the simulated embedding models non-reproducible across runs.  Everything
+here is derived from BLAKE2b digests and is therefore stable across processes,
+platforms and Python versions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import List
+
+import numpy as np
+
+
+def stable_hash(text: str, seed: int = 0) -> int:
+    """Return a stable 64-bit unsigned hash of ``text``.
+
+    ``seed`` lets callers derive independent hash families from the same
+    input, which the embedding simulators use to fill different coordinate
+    blocks.
+    """
+    digest = hashlib.blake2b(
+        text.encode("utf-8"), digest_size=8, key=seed.to_bytes(8, "little", signed=False)
+    ).digest()
+    return struct.unpack("<Q", digest)[0]
+
+
+def stable_hash_floats(text: str, count: int, seed: int = 0) -> List[float]:
+    """Return ``count`` floats in [-1, 1) derived deterministically from ``text``."""
+    values: List[float] = []
+    block = 0
+    while len(values) < count:
+        digest = hashlib.blake2b(
+            f"{text}\x00{block}".encode("utf-8"),
+            digest_size=32,
+            key=seed.to_bytes(8, "little", signed=False),
+        ).digest()
+        for offset in range(0, len(digest), 8):
+            if len(values) >= count:
+                break
+            chunk = struct.unpack("<Q", digest[offset : offset + 8])[0]
+            values.append(chunk / 2**63 - 1.0)
+        block += 1
+    return values
+
+
+from functools import lru_cache
+
+
+@lru_cache(maxsize=262_144)
+def _stable_vector_cached(text: str, dimension: int, seed: int) -> np.ndarray:
+    generator = np.random.default_rng(stable_hash(text, seed=seed))
+    vector = generator.standard_normal(dimension)
+    norm = np.linalg.norm(vector)
+    if norm == 0.0:
+        vector = np.zeros(dimension, dtype=np.float64)
+        vector[0] = 1.0
+        return vector
+    return vector / norm
+
+
+def stable_vector(text: str, dimension: int, seed: int = 0) -> np.ndarray:
+    """Return a deterministic pseudo-random unit vector for ``text``.
+
+    Distinct texts produce (with overwhelming probability) nearly orthogonal
+    vectors in high dimension, which is exactly the behaviour the simulated
+    embedders rely on for unrelated values.  The vector is derived from a
+    BLAKE2b hash of the text that seeds numpy's PCG64 generator (stable across
+    platforms and Python versions), and results are memoised because the same
+    n-gram/token directions are requested millions of times by the embedders.
+    The returned array is shared — callers must not mutate it.
+    """
+    return _stable_vector_cached(text, dimension, seed)
+
+
+def stable_rng(text: str, seed: int = 0) -> np.random.Generator:
+    """Return a numpy Generator seeded deterministically from ``text``."""
+    return np.random.default_rng(stable_hash(text, seed=seed))

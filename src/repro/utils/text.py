@@ -1,0 +1,166 @@
+"""Text normalisation and string-distance helpers.
+
+These are the string-level building blocks used by the embedding simulators
+(character n-grams), the lexical distance functions in ``matching.distance``,
+and the corruption generators in ``datasets.corruptions``.
+"""
+
+from __future__ import annotations
+
+import re
+import unicodedata
+from typing import List, Sequence, Set
+
+_WHITESPACE_RE = re.compile(r"\s+")
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+
+def normalize_value(value: object) -> str:
+    """Normalise a cell value for comparison.
+
+    Lower-cases, strips accents, collapses internal whitespace and trims the
+    ends.  ``None`` maps to the empty string so callers can treat nulls
+    uniformly.
+
+    >>> normalize_value("  Berlín ")
+    'berlin'
+    """
+    if value is None:
+        return ""
+    text = str(value)
+    text = unicodedata.normalize("NFKD", text)
+    text = "".join(ch for ch in text if not unicodedata.combining(ch))
+    text = text.lower()
+    text = _WHITESPACE_RE.sub(" ", text)
+    return text.strip()
+
+
+def tokenize(value: object) -> List[str]:
+    """Split a value into lower-case alphanumeric tokens.
+
+    >>> tokenize("New Delhi (IN)")
+    ['new', 'delhi', 'in']
+    """
+    return _TOKEN_RE.findall(normalize_value(value))
+
+
+def character_ngrams(value: object, n: int = 3, pad: bool = True) -> List[str]:
+    """Return the character ``n``-grams of a normalised value.
+
+    With ``pad=True`` the string is wrapped in boundary markers the way
+    fastText does, so prefixes and suffixes produce distinctive grams.
+
+    >>> character_ngrams("ab", n=3)
+    ['<ab', 'ab>']
+    """
+    text = normalize_value(value)
+    if not text:
+        return []
+    if pad:
+        text = f"<{text}>"
+    if len(text) <= n:
+        return [text]
+    return [text[i : i + n] for i in range(len(text) - n + 1)]
+
+
+def levenshtein(left: object, right: object) -> int:
+    """Classic Levenshtein edit distance between two (normalised) values."""
+    a = normalize_value(left)
+    b = normalize_value(right)
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, ch_a in enumerate(a, start=1):
+        current = [i]
+        for j, ch_b in enumerate(b, start=1):
+            cost = 0 if ch_a == ch_b else 1
+            current.append(min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost))
+        previous = current
+    return previous[-1]
+
+
+def damerau_levenshtein(left: object, right: object) -> int:
+    """Damerau-Levenshtein distance (edits plus adjacent transpositions)."""
+    a = normalize_value(left)
+    b = normalize_value(right)
+    if a == b:
+        return 0
+    rows = len(a) + 1
+    cols = len(b) + 1
+    dist = [[0] * cols for _ in range(rows)]
+    for i in range(rows):
+        dist[i][0] = i
+    for j in range(cols):
+        dist[0][j] = j
+    for i in range(1, rows):
+        for j in range(1, cols):
+            cost = 0 if a[i - 1] == b[j - 1] else 1
+            dist[i][j] = min(
+                dist[i - 1][j] + 1,
+                dist[i][j - 1] + 1,
+                dist[i - 1][j - 1] + cost,
+            )
+            if i > 1 and j > 1 and a[i - 1] == b[j - 2] and a[i - 2] == b[j - 1]:
+                dist[i][j] = min(dist[i][j], dist[i - 2][j - 2] + 1)
+    return dist[-1][-1]
+
+
+def normalized_edit_similarity(left: object, right: object) -> float:
+    """Edit-distance similarity scaled to [0, 1] (1 means identical)."""
+    a = normalize_value(left)
+    b = normalize_value(right)
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 1.0
+    return 1.0 - levenshtein(a, b) / longest
+
+
+def jaccard_similarity(left: Sequence[str] | Set[str], right: Sequence[str] | Set[str]) -> float:
+    """Jaccard similarity of two token collections (1 when both are empty)."""
+    set_left = set(left)
+    set_right = set(right)
+    if not set_left and not set_right:
+        return 1.0
+    union = set_left | set_right
+    if not union:
+        return 1.0
+    return len(set_left & set_right) / len(union)
+
+
+def is_abbreviation_of(short: object, long: object) -> bool:
+    """Heuristic test whether ``short`` plausibly abbreviates ``long``.
+
+    Covers initialisms ("US" / "United States"), prefix truncation
+    ("Corp" / "Corporation"), and subsequence abbreviations ("Blvd" /
+    "Boulevard").  Used as a feature by lexical matchers and by the synthetic
+    benchmark's ground-truth audit.
+    """
+    s = normalize_value(short)
+    l = normalize_value(long)
+    if not s or not l or len(s) >= len(l):
+        return False
+    tokens = tokenize(l)
+    if len(tokens) > 1:
+        initials = "".join(token[0] for token in tokens)
+        if s.replace(".", "").replace(" ", "") == initials:
+            return True
+    compact_short = s.replace(".", "").replace(" ", "")
+    compact_long = l.replace(" ", "")
+    if compact_long.startswith(compact_short):
+        return True
+    return _is_subsequence(compact_short, compact_long)
+
+
+def _is_subsequence(needle: str, haystack: str) -> bool:
+    """Return whether ``needle`` appears in ``haystack`` as a subsequence."""
+    position = 0
+    for ch in needle:
+        position = haystack.find(ch, position)
+        if position < 0:
+            return False
+        position += 1
+    return True

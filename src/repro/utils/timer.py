@@ -1,0 +1,55 @@
+"""Tiny timing helpers used by the runtime benchmarks (Figure 3)."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class Timer:
+    """Accumulates named wall-clock measurements.
+
+    >>> timer = Timer()
+    >>> with timer.measure("fd"):
+    ...     _ = sum(range(1000))
+    >>> timer.total("fd") >= 0.0
+    True
+    """
+
+    measurements: Dict[str, List[float]] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.measurements.setdefault(name, []).append(elapsed)
+
+    def total(self, name: str) -> float:
+        """Total seconds recorded under ``name`` (0.0 if never measured)."""
+        return sum(self.measurements.get(name, []))
+
+    def mean(self, name: str) -> float:
+        """Mean seconds per measurement under ``name`` (0.0 if never measured)."""
+        samples = self.measurements.get(name, [])
+        if not samples:
+            return 0.0
+        return sum(samples) / len(samples)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the total per measurement name."""
+        return {name: self.total(name) for name in self.measurements}
+
+
+def timed(func: Callable[..., T], *args: object, **kwargs: object) -> Tuple[T, float]:
+    """Run ``func`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = func(*args, **kwargs)
+    return result, time.perf_counter() - start

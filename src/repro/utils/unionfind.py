@@ -1,0 +1,108 @@
+"""Union-find (disjoint set) over arbitrary hashable items.
+
+Used to accumulate transitive value-match sets (``core.value_matching``),
+entity clusters (``em.clustering``) and column-alignment groups
+(``schema_matching.holistic``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+from typing import Dict, List
+
+
+class UnionFind:
+    """Disjoint-set forest with union by size and path compression.
+
+    Items are arbitrary hashable objects and are added lazily: ``find`` and
+    ``union`` both insert unseen items as fresh singletons.
+
+    Example
+    -------
+    >>> uf = UnionFind()
+    >>> uf.union("Berlin", "Berlinn")
+    True
+    >>> uf.connected("Berlin", "Berlinn")
+    True
+    >>> uf.connected("Berlin", "Toronto")
+    False
+    """
+
+    def __init__(self, items: Iterable[Hashable] | None = None) -> None:
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._size: Dict[Hashable, int] = {}
+        if items is not None:
+            for item in items:
+                self.add(item)
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._parent
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._parent)
+
+    def add(self, item: Hashable) -> None:
+        """Insert ``item`` as a singleton set if it is not present yet."""
+        if item not in self._parent:
+            self._parent[item] = item
+            self._size[item] = 1
+
+    def find(self, item: Hashable) -> Hashable:
+        """Return the canonical representative of ``item``'s set."""
+        self.add(item)
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression: point every node on the walk directly at the root.
+        while self._parent[item] != root:
+            item, self._parent[item] = self._parent[item], root
+        return root
+
+    def union(self, left: Hashable, right: Hashable) -> bool:
+        """Merge the sets containing ``left`` and ``right``.
+
+        Returns ``True`` if a merge happened, ``False`` if the two items were
+        already in the same set.
+        """
+        left_root = self.find(left)
+        right_root = self.find(right)
+        if left_root == right_root:
+            return False
+        if self._size[left_root] < self._size[right_root]:
+            left_root, right_root = right_root, left_root
+        self._parent[right_root] = left_root
+        self._size[left_root] += self._size[right_root]
+        return True
+
+    def connected(self, left: Hashable, right: Hashable) -> bool:
+        """Return whether the two items currently share a set."""
+        return self.find(left) == self.find(right)
+
+    def set_size(self, item: Hashable) -> int:
+        """Return the number of items in ``item``'s set."""
+        return self._size[self.find(item)]
+
+    def groups(self) -> List[List[Hashable]]:
+        """Return every disjoint set as a list of its members.
+
+        Groups are returned in a deterministic order (by insertion order of
+        their roots) so callers can rely on reproducible output.
+        """
+        by_root: Dict[Hashable, List[Hashable]] = {}
+        for item in self._parent:
+            by_root.setdefault(self.find(item), []).append(item)
+        return list(by_root.values())
+
+    def to_cluster_labels(self) -> Dict[Hashable, int]:
+        """Return a dense ``item -> cluster id`` labelling (ids start at 0)."""
+        labels: Dict[Hashable, int] = {}
+        root_ids: Dict[Hashable, int] = {}
+        for item in self._parent:
+            root = self.find(item)
+            if root not in root_ids:
+                root_ids[root] = len(root_ids)
+            labels[item] = root_ids[root]
+        return labels

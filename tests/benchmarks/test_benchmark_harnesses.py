@@ -1,0 +1,80 @@
+"""Smoke tests for the benchmark harnesses in ``benchmarks/``.
+
+The real benchmarks run at paper scale; these tests import their harness
+functions and run them at miniature scale to guarantee they stay executable as
+the library evolves.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCHMARK_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+
+
+def _load(module_name: str):
+    path = BENCHMARK_DIR / f"{module_name}.py"
+    spec = importlib.util.spec_from_file_location(module_name, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[module_name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestTable1Harness:
+    def test_small_run_orders_models_sensibly(self):
+        module = _load("bench_table1_value_matching")
+        scores = module.run_table1(n_sets=4, values_per_column=25, models=("fasttext", "mistral"))
+        assert set(scores) == {"fasttext", "mistral"}
+        assert scores["mistral"].f1 >= scores["fasttext"].f1
+
+
+class TestDownstreamEmHarness:
+    def test_small_run_produces_both_methods(self):
+        module = _load("bench_downstream_em")
+        scores = module.run_downstream_em(n_sets=1, entities_per_set=20)
+        assert set(scores) == {"regular_fd", "fuzzy_fd"}
+        assert 0.0 <= scores["fuzzy_fd"].f1 <= 1.0
+
+
+class TestFigure3Harness:
+    def test_small_sweep_runs(self):
+        module = _load("bench_fig3_runtime")
+        points = module.run_runtime_sweep(sizes=[120])
+        assert len(points) == 2
+
+
+class TestAblationHarnesses:
+    def test_threshold_ablation(self):
+        module = _load("bench_ablation_threshold")
+        results = module.run_threshold_ablation(
+            thresholds=(0.5, 0.7), n_sets=3, values_per_column=20
+        )
+        assert set(results) == {0.5, 0.7}
+
+    def test_fd_algorithm_ablation(self):
+        module = _load("bench_ablation_fd_algorithms")
+        results = module.run_fd_ablation(total_tuples=120, algorithms=("alite", "incremental"))
+        assert set(results) == {"alite", "incremental"}
+        counts = {stats["output_tuples"] for stats in results.values()}
+        assert len(counts) == 1  # all algorithms agree on the result size
+
+    def test_assignment_ablation(self):
+        module = _load("bench_ablation_assignment")
+        results = module.run_assignment_ablation(n_sets=3, values_per_column=20)
+        assert set(results) == {"scipy", "hungarian", "greedy"}
+
+    def test_representative_ablation(self):
+        module = _load("bench_ablation_representatives")
+        results = module.run_representative_ablation(n_sets=3, values_per_column=20)
+        assert set(results) == {"frequency", "first_column", "longest", "shortest"}
+
+    def test_blocking_ablation(self):
+        module = _load("bench_ablation_blocking")
+        results = module.run_blocking_ablation(n_sets=2, values_per_column=20)
+        assert set(results) == {"exhaustive", "blocked"}
+        assert results["blocked"]["scored_pair_fraction"] <= 1.0

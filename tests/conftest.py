@@ -1,0 +1,82 @@
+"""Shared pytest fixtures.
+
+The fixtures here provide the paper's Figure 1 tables (the canonical running
+example), small benchmark instances, and the default embedders, so individual
+test modules stay focused on behaviour.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.embeddings import ExactEmbedder, FastTextEmbedder, MistralEmbedder
+from repro.table import Table
+
+
+@pytest.fixture(scope="session")
+def covid_tables():
+    """The three COVID-19 tables of the paper's Figure 1 (T1, T2, T3)."""
+    t1 = Table(
+        "T1",
+        ["City", "Country"],
+        [
+            ("Berlinn", "Germany"),
+            ("Toronto", "Canada"),
+            ("Barcelona", "Spain"),
+            ("New Delhi", "India"),
+        ],
+    )
+    t2 = Table(
+        "T2",
+        ["Country", "City", "VaxRate"],
+        [
+            ("CA", "Toronto", "83%"),
+            ("US", "Boston", "62%"),
+            ("DE", "Berlin", "63%"),
+            ("ES", "Barcelona", "82%"),
+        ],
+    )
+    t3 = Table(
+        "T3",
+        ["City", "TotalCases", "DeathRate"],
+        [
+            ("Berlin", "1.4M", "147"),
+            ("barcelona", "2.68M", "275"),
+            ("Boston", "263K", "335"),
+        ],
+    )
+    return [t1, t2, t3]
+
+
+@pytest.fixture(scope="session")
+def mistral_embedder():
+    """The default (paper) embedding model, shared across tests for its cache."""
+    return MistralEmbedder()
+
+
+@pytest.fixture(scope="session")
+def fasttext_embedder():
+    """The cheap surface-only embedder."""
+    return FastTextEmbedder()
+
+
+@pytest.fixture(scope="session")
+def exact_embedder():
+    """The equality-only embedder (regular-FD behaviour)."""
+    return ExactEmbedder()
+
+
+@pytest.fixture(scope="session")
+def small_autojoin_sets():
+    """A tiny Auto-Join style benchmark (3 sets) shared by several test modules."""
+    from repro.datasets import AutoJoinBenchmark
+
+    return AutoJoinBenchmark(n_sets=3, values_per_column=25, seed=11).generate()
+
+
+@pytest.fixture(scope="session")
+def small_em_set():
+    """One small entity-matching integration set."""
+    from repro.datasets import AliteEmBenchmark
+
+    return AliteEmBenchmark(n_sets=1, entities_per_set=25, seed=5).generate()[0]

@@ -1,0 +1,102 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.table import Table, read_csv, write_csv
+
+
+@pytest.fixture()
+def lake(tmp_path, covid_tables):
+    """The Figure 1 tables written to CSV files in a temporary directory."""
+    paths = []
+    for table in covid_tables:
+        paths.append(str(write_csv(table, tmp_path / f"{table.name}.csv")))
+    return tmp_path, paths
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_integrate_defaults(self):
+        args = build_parser().parse_args(["integrate", "somewhere.csv"])
+        assert args.embedder == "mistral"
+        assert args.threshold == 0.7
+        assert not args.regular
+
+    def test_benchmark_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["benchmark", "unknown-experiment"])
+
+
+class TestIntegrateCommand:
+    def test_integrate_directory_to_csv(self, lake, tmp_path, capsys):
+        directory, _ = lake
+        output = tmp_path / "out" / "integrated.csv"
+        exit_code = main(["integrate", str(directory), "--output", str(output)])
+        assert exit_code == 0
+        integrated = read_csv(output)
+        assert integrated.num_rows == 5  # the paper's Fuzzy FD result
+        captured = capsys.readouterr().out
+        assert "5 output tuples" in captured
+
+    def test_regular_flag_uses_equi_join(self, lake, tmp_path, capsys):
+        directory, _ = lake
+        output = tmp_path / "regular.csv"
+        main(["integrate", str(directory), "--regular", "--output", str(output)])
+        assert read_csv(output).num_rows == 9
+
+    def test_prints_table_without_output(self, lake, capsys):
+        _, paths = lake
+        exit_code = main(["integrate", *paths, "--show-rewrites"])
+        assert exit_code == 0
+        captured = capsys.readouterr().out
+        assert "Berlin" in captured
+        assert "->" in captured  # at least one rewrite shown
+
+    def test_rejects_non_csv_input(self, tmp_path):
+        bogus = tmp_path / "data.parquet"
+        bogus.write_text("not a csv")
+        with pytest.raises(SystemExit):
+            main(["integrate", str(bogus)])
+
+
+class TestMatchCommand:
+    def test_match_two_columns(self, tmp_path, capsys):
+        left = Table("countries_a", ["value"], [("Germany",), ("Canada",), ("Spain",)])
+        right = Table("countries_b", ["value"], [("DE",), ("CA",), ("US",)])
+        paths = [
+            str(write_csv(left, tmp_path / "a.csv")),
+            str(write_csv(right, tmp_path / "b.csv")),
+        ]
+        exit_code = main(["match", *paths, "--column", "value"])
+        assert exit_code == 0
+        captured = capsys.readouterr().out
+        assert "'Germany'" in captured and "'DE'" in captured
+
+    def test_match_requires_two_columns(self, tmp_path):
+        only = Table("solo", ["value"], [("Berlin",)])
+        path = str(write_csv(only, tmp_path / "solo.csv"))
+        with pytest.raises(SystemExit):
+            main(["match", path])
+
+
+class TestBenchmarkCommand:
+    def test_table1_small(self, capsys):
+        exit_code = main(
+            ["benchmark", "table1", "--sets", "2", "--values-per-column", "15"]
+        )
+        assert exit_code == 0
+        captured = capsys.readouterr().out
+        assert "mistral" in captured
+        assert "F1-Score" in captured
+
+    def test_fig3_small(self, capsys):
+        exit_code = main(["benchmark", "fig3", "--sizes", "80"])
+        assert exit_code == 0
+        captured = capsys.readouterr().out
+        assert "Fuzzy FD" in captured

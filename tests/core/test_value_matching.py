@@ -1,0 +1,195 @@
+"""Tests for the Match Values component (Sec. 2.2) and representative policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.representatives import available_policies, select_representative
+from repro.core.value_matching import ColumnValues, ValueMatcher
+from repro.embeddings import ExactEmbedder, MistralEmbedder
+
+
+@pytest.fixture(scope="module")
+def matcher():
+    return ValueMatcher(MistralEmbedder(), threshold=0.7)
+
+
+class TestColumnValues:
+    def test_deduplicates_preserving_order(self):
+        column = ColumnValues("c", ["a", "b", "a"])
+        assert column.values == ["a", "b"]
+
+    def test_default_counts(self):
+        column = ColumnValues("c", ["a", "b"])
+        assert column.counts == {"a": 1, "b": 1}
+
+    def test_explicit_counts_kept(self):
+        column = ColumnValues("c", ["a"], counts={"a": 5})
+        assert column.counts["a"] == 5
+
+
+class TestRepresentativePolicies:
+    MEMBERS = [("c1", "Berlinn"), ("c2", "Berlin"), ("c3", "Berlin")]
+    FREQUENCIES = {"Berlinn": 1, "Berlin": 2}
+    ORDER = {"c1": 0, "c2": 1, "c3": 2}
+
+    def test_frequency_policy_matches_paper_example(self):
+        representative = select_representative(
+            self.MEMBERS, self.FREQUENCIES, self.ORDER, policy="frequency"
+        )
+        assert representative == "Berlin"
+
+    def test_frequency_tie_prefers_first_column(self):
+        members = [("c1", "Toronto"), ("c2", "Torontoo")]
+        representative = select_representative(
+            members, {"Toronto": 1, "Torontoo": 1}, self.ORDER, policy="frequency"
+        )
+        assert representative == "Toronto"
+
+    def test_first_column_policy(self):
+        representative = select_representative(
+            self.MEMBERS, self.FREQUENCIES, self.ORDER, policy="first_column"
+        )
+        assert representative == "Berlinn"
+
+    def test_longest_and_shortest(self):
+        members = [("c1", "US"), ("c2", "United States")]
+        assert select_representative(members, {}, self.ORDER, policy="longest") == "United States"
+        assert select_representative(members, {}, self.ORDER, policy="shortest") == "US"
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ValueError):
+            select_representative(self.MEMBERS, {}, {}, policy="magic")
+
+    def test_empty_members_raises(self):
+        with pytest.raises(ValueError):
+            select_representative([], {}, {})
+
+    def test_available_policies(self):
+        assert set(available_policies()) == {"frequency", "first_column", "longest", "shortest"}
+
+
+class TestMatchColumnsPaperExample:
+    """Example 4 of the paper: the three City columns of Figure 1/2."""
+
+    @pytest.fixture()
+    def columns(self):
+        return [
+            ColumnValues(("T1", "City"), ["Berlinn", "Toronto", "Barcelona", "New Delhi"]),
+            ColumnValues(("T2", "City"), ["Toronto", "Boston", "Berlin", "Barcelona"]),
+            ColumnValues(("T3", "City"), ["Berlin", "barcelona", "Boston"]),
+        ]
+
+    def test_combined_column_matches_figure_2(self, matcher, columns):
+        result = matcher.match_columns(columns)
+        combined = set(result.combined_column())
+        assert combined == {"Berlin", "Toronto", "Barcelona", "New Delhi", "Boston"}
+
+    def test_berlin_set_contains_all_three_variants(self, matcher, columns):
+        result = matcher.match_columns(columns)
+        berlin_set = next(
+            match_set for match_set in result.sets if match_set.representative == "Berlin"
+        )
+        assert set(berlin_set.members) == {
+            (("T1", "City"), "Berlinn"),
+            (("T2", "City"), "Berlin"),
+            (("T3", "City"), "Berlin"),
+        }
+
+    def test_representative_is_majority_value(self, matcher, columns):
+        result = matcher.match_columns(columns)
+        assert result.representative_of(("T1", "City"), "Berlinn") == "Berlin"
+        assert result.representative_of(("T3", "City"), "barcelona") == "Barcelona"
+
+    def test_rewrite_map_only_contains_changes(self, matcher, columns):
+        result = matcher.match_columns(columns)
+        t1_map = result.rewrite_map(("T1", "City"))
+        assert t1_map == {"Berlinn": "Berlin"}
+        t2_map = result.rewrite_map(("T2", "City"))
+        assert t2_map == {}
+
+    def test_unmatched_value_stays_singleton(self, matcher, columns):
+        result = matcher.match_columns(columns)
+        new_delhi = next(
+            match_set
+            for match_set in result.sets
+            if (("T1", "City"), "New Delhi") in match_set.members
+        )
+        assert len(new_delhi) == 1
+        assert new_delhi.representative == "New Delhi"
+
+    def test_statistics_recorded(self, matcher, columns):
+        result = matcher.match_columns(columns)
+        assert result.statistics["columns"] == 3.0
+        assert result.statistics["assignments"] == 2.0
+        assert result.statistics["match_sets"] == len(result.sets)
+
+
+class TestMatchColumnsGeneral:
+    def test_empty_input(self, matcher):
+        result = matcher.match_columns([])
+        assert result.sets == []
+
+    def test_single_column_all_singletons(self, matcher):
+        result = matcher.match_columns([ColumnValues("c", ["a", "b"])])
+        assert len(result.sets) == 2
+        assert all(len(match_set) == 1 for match_set in result.sets)
+
+    def test_sets_are_disjoint(self, matcher):
+        columns = [
+            ColumnValues("c1", ["Germany", "Canada", "Spain"]),
+            ColumnValues("c2", ["DE", "CA", "ES"]),
+        ]
+        result = matcher.match_columns(columns)
+        seen = set()
+        for match_set in result.sets:
+            for member in match_set.members:
+                assert member not in seen
+                seen.add(member)
+
+    def test_every_input_value_appears_exactly_once(self, matcher):
+        columns = [
+            ColumnValues("c1", ["Germany", "Canada"]),
+            ColumnValues("c2", ["DE", "US"]),
+        ]
+        result = matcher.match_columns(columns)
+        members = [member for match_set in result.sets for member in match_set.members]
+        assert sorted(members) == sorted(
+            [("c1", "Germany"), ("c1", "Canada"), ("c2", "DE"), ("c2", "US")]
+        )
+
+    def test_exact_embedder_reduces_to_equality_matching(self):
+        matcher = ValueMatcher(ExactEmbedder(), threshold=0.7)
+        columns = [
+            ColumnValues("c1", ["Berlin", "Boston"]),
+            ColumnValues("c2", ["Berlin", "barcelona"]),
+        ]
+        result = matcher.match_columns(columns)
+        berlin_set = next(
+            match_set for match_set in result.sets if ("c1", "Berlin") in match_set.members
+        )
+        assert ("c2", "Berlin") in berlin_set.members
+        assert all(
+            len(match_set) == 1
+            for match_set in result.sets
+            if ("c1", "Berlin") not in match_set.members
+        )
+
+    def test_frequency_counts_influence_representative(self, matcher):
+        columns = [
+            ColumnValues("c1", ["Berlinn"], counts={"Berlinn": 10}),
+            ColumnValues("c2", ["Berlin"], counts={"Berlin": 1}),
+        ]
+        result = matcher.match_columns(columns)
+        merged = next(match_set for match_set in result.sets if len(match_set) == 2)
+        assert merged.representative == "Berlinn"
+
+    def test_matched_pairs_enumeration(self, matcher):
+        columns = [
+            ColumnValues("c1", ["Germany"]),
+            ColumnValues("c2", ["DE"]),
+            ColumnValues("c3", ["Deutschland"]),
+        ]
+        result = matcher.match_columns(columns)
+        pairs = result.matched_pairs()
+        assert len(pairs) == 3

@@ -1,0 +1,152 @@
+"""Tests for the three benchmark generators (Auto-Join, ALITE EM, IMDB)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import AliteEmBenchmark, AutoJoinBenchmark, ImdbBenchmark
+
+
+class TestAutoJoinBenchmark:
+    @pytest.fixture(scope="class")
+    def sets(self):
+        return AutoJoinBenchmark(n_sets=6, values_per_column=30, seed=3).generate()
+
+    def test_number_of_sets(self, sets):
+        assert len(sets) == 6
+
+    def test_default_configuration_covers_31_sets_and_17_topics(self):
+        bench = AutoJoinBenchmark()
+        assert bench.n_sets == 31
+        assert len(bench._topics_cycle()) == 17
+
+    def test_each_set_has_two_or_three_columns(self, sets):
+        for integration_set in sets:
+            assert len(integration_set.columns) in (2, 3)
+
+    def test_values_within_column_are_distinct(self, sets):
+        for integration_set in sets:
+            for values in integration_set.columns.values():
+                assert len(values) == len(set(values))
+
+    def test_gold_sets_reference_existing_values(self, sets):
+        for integration_set in sets:
+            for gold_set in integration_set.gold_sets:
+                for column_id, value in gold_set:
+                    assert value in integration_set.columns[column_id]
+
+    def test_gold_sets_are_disjoint(self, sets):
+        for integration_set in sets:
+            seen = set()
+            for gold_set in integration_set.gold_sets:
+                for member in gold_set:
+                    assert member not in seen
+                    seen.add(member)
+
+    def test_some_gold_sets_span_columns(self, sets):
+        for integration_set in sets:
+            assert any(len(gold_set) >= 2 for gold_set in integration_set.gold_sets)
+
+    def test_generation_is_deterministic(self):
+        first = AutoJoinBenchmark(n_sets=2, values_per_column=20, seed=9).generate()
+        second = AutoJoinBenchmark(n_sets=2, values_per_column=20, seed=9).generate()
+        assert [s.columns for s in first] == [s.columns for s in second]
+        assert [s.gold_sets for s in first] == [s.gold_sets for s in second]
+
+    def test_column_values_and_tables_views(self, sets):
+        integration_set = sets[0]
+        columns = integration_set.column_values()
+        assert len(columns) == len(integration_set.columns)
+        tables = integration_set.tables()
+        assert all(table.num_columns == 1 for table in tables)
+        assert integration_set.total_values == sum(len(v) for v in integration_set.columns.values())
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AutoJoinBenchmark(n_sets=0)
+        with pytest.raises(ValueError):
+            AutoJoinBenchmark(overlap=0.0)
+
+
+class TestAliteEmBenchmark:
+    @pytest.fixture(scope="class")
+    def sets(self):
+        return AliteEmBenchmark(n_sets=2, entities_per_set=20, seed=5).generate()
+
+    def test_number_of_sets_and_tables(self, sets):
+        assert len(sets) == 2
+        assert all(len(integration_set.tables) == 3 for integration_set in sets)
+
+    def test_every_table_has_name_column(self, sets):
+        for integration_set in sets:
+            for table in integration_set.tables:
+                assert "Name" in table.schema
+
+    def test_gold_clusters_reference_existing_rows(self, sets):
+        for integration_set in sets:
+            tables = {table.name: table for table in integration_set.tables}
+            for cluster in integration_set.gold_clusters:
+                for source in cluster:
+                    table_name, row_id = source.rsplit(":", 1)
+                    assert table_name in tables
+                    assert int(row_id) < tables[table_name].num_rows
+
+    def test_gold_clusters_cover_every_row_exactly_once(self, sets):
+        for integration_set in sets:
+            sources = [source for cluster in integration_set.gold_clusters for source in cluster]
+            assert len(sources) == len(set(sources)) == integration_set.total_tuples
+
+    def test_multi_table_entities_exist(self, sets):
+        assert all(integration_set.multi_table_entities() > 0 for integration_set in sets)
+
+    def test_deterministic(self):
+        first = AliteEmBenchmark(n_sets=1, entities_per_set=15, seed=2).generate()[0]
+        second = AliteEmBenchmark(n_sets=1, entities_per_set=15, seed=2).generate()[0]
+        assert first.gold_clusters == second.gold_clusters
+        assert [t.rows for t in first.tables] == [t.rows for t in second.tables]
+
+    def test_requires_two_tables(self):
+        with pytest.raises(ValueError):
+            AliteEmBenchmark(tables_per_set=1)
+
+
+class TestImdbBenchmark:
+    @pytest.fixture(scope="class")
+    def tables(self):
+        return ImdbBenchmark(seed=1).tables(600)
+
+    def test_six_tables_in_imdb_schema(self, tables):
+        names = {table.name for table in tables}
+        assert names == {
+            "title_basics",
+            "title_ratings",
+            "title_akas",
+            "title_principals",
+            "name_basics",
+            "title_crew",
+        }
+
+    def test_total_tuples_close_to_requested(self, tables):
+        total = sum(table.num_rows for table in tables)
+        assert 0.8 * 600 <= total <= 1.05 * 600
+
+    def test_keys_are_referentially_consistent(self, tables):
+        by_name = {table.name: table for table in tables}
+        titles = set(by_name["title_basics"].column("tconst"))
+        people = set(by_name["name_basics"].column("nconst"))
+        assert set(by_name["title_ratings"].column("tconst")) <= titles
+        assert set(by_name["title_principals"].column("tconst")) <= titles
+        assert set(by_name["title_principals"].column("nconst")) <= people
+        assert set(by_name["title_crew"].column("tconst")) <= titles
+
+    def test_sweep_sizes_match_paper(self):
+        assert ImdbBenchmark().sweep_sizes() == [5000, 10000, 15000, 20000, 25000, 30000]
+
+    def test_deterministic(self):
+        first = ImdbBenchmark(seed=4).tables(200)
+        second = ImdbBenchmark(seed=4).tables(200)
+        assert [t.rows for t in first] == [t.rows for t in second]
+
+    def test_minimum_size_enforced(self):
+        with pytest.raises(ValueError):
+            ImdbBenchmark().tables(5)

@@ -1,0 +1,144 @@
+"""Tests for the corruption generators and topic vocabularies."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets.corruptions import CORRUPTION_KINDS, CorruptionProfile, Corruptor, DEFAULT_PROFILES
+from repro.datasets.vocabularies import (
+    SEMANTIC_TOPICS,
+    SURFACE_TOPICS,
+    topic_category,
+    topic_names,
+    topic_vocabulary,
+)
+from repro.embeddings.lexicon import default_lexicon
+
+
+class TestVocabularies:
+    def test_topic_names_cover_both_categories(self):
+        names = topic_names()
+        assert set(SEMANTIC_TOPICS) <= set(names)
+        assert set(SURFACE_TOPICS) <= set(names)
+
+    def test_topic_category(self):
+        assert topic_category("countries") == "semantic"
+        assert topic_category("cities") == "surface"
+        with pytest.raises(ValueError):
+            topic_category("unknown")
+
+    def test_unknown_topic_raises(self):
+        with pytest.raises(ValueError):
+            topic_vocabulary("nonexistent")
+
+    @pytest.mark.parametrize("topic", ["cities", "companies", "songs", "countries", "street_addresses"])
+    def test_vocabularies_have_distinct_entities(self, topic):
+        vocabulary = topic_vocabulary(topic)
+        assert len(vocabulary.entities) == len(set(vocabulary.entities))
+        assert len(vocabulary) >= 8
+
+    def test_sample_is_deterministic(self):
+        vocabulary = topic_vocabulary("companies")
+        assert vocabulary.sample(10, seed=3) == vocabulary.sample(10, seed=3)
+        assert vocabulary.sample(10, seed=3) != vocabulary.sample(10, seed=4)
+
+    def test_sample_larger_than_pool_returns_pool(self):
+        vocabulary = topic_vocabulary("music_genres")
+        assert len(vocabulary.sample(10_000)) == len(vocabulary)
+
+
+class TestCorruptor:
+    @pytest.fixture(scope="class")
+    def corruptor(self):
+        return Corruptor(seed=1)
+
+    @pytest.mark.parametrize("kind", CORRUPTION_KINDS)
+    def test_every_kind_returns_non_empty_string(self, corruptor, kind):
+        rng = random.Random(0)
+        result = corruptor.corrupt("United States", kind, rng)
+        assert isinstance(result, str) and result
+
+    def test_unknown_kind_raises(self, corruptor):
+        with pytest.raises(ValueError):
+            corruptor.corrupt("x", "explode")
+
+    def test_typo_is_single_edit(self, corruptor):
+        from repro.utils.text import levenshtein
+
+        rng = random.Random(5)
+        for _ in range(20):
+            corrupted = corruptor.corrupt("Barcelona", "typo", rng)
+            assert levenshtein("Barcelona", corrupted) <= 2
+
+    def test_case_changes_only_case(self, corruptor):
+        rng = random.Random(2)
+        corrupted = corruptor.corrupt("Berlin", "case", rng)
+        assert corrupted.lower() == "berlin"
+
+    def test_abbreviation_uses_lexicon_forms(self, corruptor):
+        lexicon = default_lexicon()
+        rng = random.Random(3)
+        corrupted = corruptor.corrupt("United States", "abbreviation", rng)
+        assert lexicon.same_concept("United States", corrupted) or corrupted != "United States"
+
+    def test_abbreviation_falls_back_to_initialism(self, corruptor):
+        rng = random.Random(4)
+        corrupted = corruptor.corrupt("Random Person Name", "abbreviation", rng)
+        assert corrupted  # never empty; typically "RPN" or a token-level change
+
+    def test_synonym_replaces_known_concepts(self, corruptor):
+        lexicon = default_lexicon()
+        rng = random.Random(6)
+        corrupted = corruptor.corrupt("car", "synonym", rng)
+        assert lexicon.same_concept("car", corrupted)
+
+    def test_format_preserves_letters(self, corruptor):
+        rng = random.Random(7)
+        for _ in range(10):
+            corrupted = corruptor.corrupt("John Smith", "format", rng)
+            letters = sorted(ch for ch in corrupted.lower() if ch.isalpha())
+            assert letters == sorted("johnsmith")
+
+    def test_deterministic_for_same_seed(self):
+        rng_a = random.Random(9)
+        rng_b = random.Random(9)
+        first = Corruptor(seed=1).corrupt("Boston", "typo", rng_a)
+        second = Corruptor(seed=1).corrupt("Boston", "typo", rng_b)
+        assert first == second
+
+    @given(st.sampled_from(list(CORRUPTION_KINDS)), st.integers(0, 1000))
+    @settings(max_examples=60, deadline=None)
+    def test_corruptions_never_crash(self, kind, seed):
+        corruptor = Corruptor(seed=0)
+        rng = random.Random(seed)
+        for value in ("Berlin", "a", "World Health Organization", "42 Main Street"):
+            assert corruptor.corrupt(value, kind, rng)
+
+
+class TestProfiles:
+    def test_default_profiles_have_distinct_names(self):
+        names = [profile.name for profile in DEFAULT_PROFILES]
+        assert len(names) == len(set(names))
+
+    def test_profile_sampling_respects_zero_weights(self):
+        profile = CorruptionProfile("only_case", {"case": 1.0})
+        rng = random.Random(0)
+        assert all(profile.sample_kind(rng) == "case" for _ in range(20))
+
+    def test_all_zero_weights_fall_back_to_identity(self):
+        profile = CorruptionProfile("nothing", {"case": 0.0})
+        assert profile.sample_kind(random.Random(0)) == "identity"
+
+    def test_kinds_listing(self):
+        profile = CorruptionProfile("p", {"typo": 0.5, "case": 0.0})
+        assert profile.kinds() == ["typo"]
+
+    def test_corrupt_with_profile_reports_kind(self):
+        corruptor = Corruptor(seed=0)
+        profile = CorruptionProfile("only_case", {"case": 1.0})
+        corrupted, kind = corruptor.corrupt_with_profile("Berlin", profile, random.Random(1))
+        assert kind == "case"
+        assert corrupted.lower() == "berlin"

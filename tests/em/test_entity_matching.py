@@ -1,0 +1,152 @@
+"""Tests for the downstream entity-matching pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.em import (
+    EntityMatchingPipeline,
+    RecordPair,
+    RecordPairMatcher,
+    TokenBlocker,
+    cluster_matches,
+    pairwise_scores,
+)
+from repro.em.clustering import clusters_to_labels
+from repro.table import NULL, Table
+
+
+@pytest.fixture()
+def integrated_table():
+    """A small integrated table with two duplicated entities and one singleton."""
+    return Table(
+        "integrated",
+        ["Name", "City", "Sector"],
+        [
+            ("World Health Organization", "Geneva", "Public Health"),
+            ("World Health Organization", "Geneva", NULL),
+            ("Pioneer Analytics Limited", "Boston", "Technology"),
+            ("Pioneer Analytics Ltd", "Boston", "Technology"),
+            ("Keystone Motors Group", "Detroit", "Manufacturing"),
+        ],
+        provenance=[{"a:0"}, {"b:0"}, {"a:1"}, {"b:1"}, {"a:2"}],
+    )
+
+
+class TestTokenBlocker:
+    def test_blocks_share_tokens(self, integrated_table):
+        pairs = TokenBlocker().candidate_pairs(integrated_table)
+        assert (0, 1) in pairs
+        assert (2, 3) in pairs
+
+    def test_unrelated_rows_not_candidates(self, integrated_table):
+        pairs = TokenBlocker().candidate_pairs(integrated_table)
+        assert (0, 4) not in pairs
+
+    def test_max_block_size_prunes_frequent_tokens(self):
+        rows = [(f"Entity {i}", "Same City") for i in range(30)]
+        table = Table("t", ["Name", "City"], rows)
+        pairs = TokenBlocker(max_block_size=10).candidate_pairs(table)
+        assert pairs == []
+
+    def test_column_restriction(self, integrated_table):
+        pairs = TokenBlocker(columns=["City"]).candidate_pairs(integrated_table)
+        assert (0, 1) in pairs and (2, 3) in pairs
+
+    def test_null_values_ignored(self):
+        table = Table("t", ["Name"], [(NULL,), (NULL,)])
+        assert TokenBlocker().candidate_pairs(table) == []
+
+
+class TestRecordPairMatcher:
+    def test_identical_values_similarity_one(self):
+        matcher = RecordPairMatcher()
+        assert matcher.value_similarity("Boston", "Boston") == 1.0
+
+    def test_similar_values_high(self):
+        matcher = RecordPairMatcher()
+        assert matcher.value_similarity("Pioneer Analytics Limited", "Pioneer Analytics Ltd") > 0.6
+
+    def test_column_weights_favour_distinct_columns(self, integrated_table):
+        weights = RecordPairMatcher().column_weights(integrated_table)
+        assert weights["Name"] > weights["City"]
+
+    def test_duplicate_rows_matched(self, integrated_table):
+        matcher = RecordPairMatcher(threshold=0.65)
+        matches = matcher.match(integrated_table, [(0, 1), (2, 3), (0, 4)])
+        matched = {(pair.left, pair.right) for pair in matches}
+        assert (0, 1) in matched
+        assert (2, 3) in matched
+        assert (0, 4) not in matched
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            RecordPairMatcher(threshold=0.0)
+
+    def test_rows_without_shared_columns_score_zero(self):
+        table = Table("t", ["a", "b"], [("x", NULL), (NULL, "y")])
+        assert RecordPairMatcher().record_similarity(table, 0, 1) == 0.0
+
+
+class TestClustering:
+    def test_connected_components(self):
+        clusters = cluster_matches(4, [RecordPair(0, 1, 0.9), RecordPair(1, 2, 0.8)])
+        assert [0, 1, 2] in clusters
+        assert [3] in clusters
+
+    def test_labels_are_dense(self):
+        clusters = cluster_matches(3, [RecordPair(0, 2, 0.9)])
+        labels = clusters_to_labels(clusters)
+        assert labels[0] == labels[2] != labels[1]
+
+
+class TestPairwiseScores:
+    def test_perfect_prediction(self):
+        gold = [["a", "b"], ["c"]]
+        scores = pairwise_scores(gold, gold)
+        assert scores.precision == scores.recall == scores.f1 == 1.0
+
+    def test_missing_pair_lowers_recall(self):
+        scores = pairwise_scores([["a"], ["b"], ["c", "d"]], [["a", "b"], ["c", "d"]])
+        assert scores.precision == 1.0
+        assert scores.recall == 0.5
+
+    def test_extra_pair_lowers_precision(self):
+        scores = pairwise_scores([["a", "b", "c"]], [["a", "b"], ["c"]])
+        assert scores.recall == 1.0
+        assert scores.precision == pytest.approx(1 / 3)
+
+    def test_empty_predictions(self):
+        scores = pairwise_scores([], [["a", "b"]])
+        assert scores.precision == 1.0
+        assert scores.recall == 0.0
+        assert scores.f1 == 0.0
+
+    def test_counts_exposed(self):
+        scores = pairwise_scores([["a", "b", "c"]], [["a", "b"]])
+        assert scores.true_positives == 1
+        assert scores.false_positives == 2
+        assert scores.false_negatives == 0
+
+
+class TestPipeline:
+    def test_end_to_end_clusters_duplicates(self, integrated_table):
+        result = EntityMatchingPipeline(match_threshold=0.65).run(integrated_table)
+        labels = clusters_to_labels(result.row_clusters)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[4] not in (labels[0], labels[2])
+
+    def test_source_clusters_use_provenance(self, integrated_table):
+        result = EntityMatchingPipeline(match_threshold=0.65).run(integrated_table)
+        assert ["a:0", "b:0"] in result.source_clusters
+
+    def test_scores_against_gold(self, integrated_table):
+        gold = [["a:0", "b:0"], ["a:1", "b:1"], ["a:2"]]
+        result = EntityMatchingPipeline(match_threshold=0.65).run(integrated_table, gold_clusters=gold)
+        assert result.scores is not None
+        assert result.scores.f1 == 1.0
+
+    def test_no_gold_means_no_scores(self, integrated_table):
+        result = EntityMatchingPipeline().run(integrated_table)
+        assert result.scores is None

@@ -1,0 +1,95 @@
+"""Tests for the semantic lexicon."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.embeddings.lexicon import SemanticLexicon, default_lexicon, domain_groups
+
+
+class TestSemanticLexicon:
+    def test_lookup_normalises(self):
+        lexicon = SemanticLexicon({"united states": ["US", "USA"]})
+        assert lexicon.lookup("usa") == "united states"
+        assert lexicon.lookup("U.S. ") is None  # punctuation is preserved in forms
+
+    def test_concept_is_its_own_form(self):
+        lexicon = SemanticLexicon({"germany": ["de"]})
+        assert lexicon.lookup("Germany") == "germany"
+
+    def test_same_concept(self):
+        lexicon = SemanticLexicon({"canada": ["ca"]})
+        assert lexicon.same_concept("Canada", "CA")
+        assert not lexicon.same_concept("Canada", "US")
+
+    def test_unknown_value(self):
+        assert SemanticLexicon().lookup("zzz") is None
+
+    def test_canonicalize_full_form(self):
+        lexicon = SemanticLexicon({"spain": ["es"]})
+        assert lexicon.canonicalize("ES") == "spain"
+
+    def test_canonicalize_token_level(self):
+        lexicon = SemanticLexicon({"street": ["st"]})
+        assert lexicon.canonicalize("Main St") == "main street"
+
+    def test_token_concept_only_for_single_token_groups(self):
+        lexicon = SemanticLexicon({"new york": ["ny"], "street": ["st"]})
+        assert lexicon.token_concept("st") == "street"
+        assert lexicon.token_concept("ny") is None  # group has a multi-token form
+
+    def test_ambiguous_form_first_registration_wins(self):
+        lexicon = SemanticLexicon()
+        lexicon.add_group("germany", ["de"])
+        lexicon.add_group("delaware", ["de"])
+        assert lexicon.lookup("de") == "germany"
+
+    def test_merge(self):
+        left = SemanticLexicon({"germany": ["de"]})
+        right = SemanticLexicon({"spain": ["es"]})
+        merged = left.merge(right)
+        assert merged.lookup("de") == "germany"
+        assert merged.lookup("es") == "spain"
+
+    def test_variant_pairs(self):
+        lexicon = SemanticLexicon({"canada": ["ca"]})
+        assert ("ca", "canada") in lexicon.variant_pairs()
+
+    def test_forms_sorted(self):
+        lexicon = SemanticLexicon({"canada": ["ca", "can"]})
+        assert lexicon.forms("canada") == ["ca", "can", "canada"]
+
+
+class TestDefaultLexicon:
+    @pytest.fixture(scope="class")
+    def lexicon(self):
+        return default_lexicon()
+
+    @pytest.mark.parametrize(
+        "left, right",
+        [
+            ("United States", "US"),
+            ("Germany", "DE"),
+            ("Massachusetts", "MA"),
+            ("World Health Organization", "WHO"),
+            ("Massachusetts Institute of Technology", "MIT"),
+            ("Doctor", "Dr"),
+            ("Incorporated", "Inc"),
+            ("car", "automobile"),
+            ("Science Fiction", "Sci-Fi"),
+            ("kilometer", "km"),
+        ],
+    )
+    def test_knows_common_equivalences(self, lexicon, left, right):
+        assert lexicon.same_concept(left, right)
+
+    def test_has_many_concepts(self, lexicon):
+        assert len(lexicon) > 200
+
+    def test_domain_groups_exposed(self):
+        groups = domain_groups()
+        assert "countries" in groups
+        assert "us" in groups["countries"]["united states"]
+
+    def test_unrelated_values_not_same_concept(self, lexicon):
+        assert not lexicon.same_concept("Germany", "Canada")

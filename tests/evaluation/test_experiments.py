@@ -1,0 +1,44 @@
+"""Tests for the programmatic experiment runners (miniature scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.experiments import (
+    run_downstream_em_experiment,
+    run_figure3_experiment,
+    run_table1_experiment,
+)
+
+
+class TestTable1Experiment:
+    def test_returns_scores_for_requested_models(self):
+        scores = run_table1_experiment(
+            n_sets=3, values_per_column=20, models=("fasttext", "mistral")
+        )
+        assert set(scores) == {"fasttext", "mistral"}
+        for model_scores in scores.values():
+            assert 0.0 <= model_scores.precision <= 1.0
+            assert 0.0 <= model_scores.recall <= 1.0
+
+    def test_mistral_not_worse_than_fasttext(self):
+        scores = run_table1_experiment(
+            n_sets=4, values_per_column=25, models=("fasttext", "mistral")
+        )
+        assert scores["mistral"].f1 >= scores["fasttext"].f1
+
+
+class TestDownstreamEmExperiment:
+    def test_returns_both_methods(self):
+        scores = run_downstream_em_experiment(n_sets=1, entities_per_set=20)
+        assert set(scores) == {"regular_fd", "fuzzy_fd"}
+        assert scores["fuzzy_fd"].recall >= scores["regular_fd"].recall
+
+
+class TestFigure3Experiment:
+    def test_returns_points_for_each_size_and_method(self):
+        points = run_figure3_experiment(sizes=(80, 160))
+        assert len(points) == 4
+        assert {point.method for point in points} == {"regular_fd", "fuzzy_fd"}
+        sizes = sorted({point.input_tuples for point in points})
+        assert len(sizes) == 2

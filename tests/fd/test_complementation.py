@@ -1,0 +1,109 @@
+"""Tests for the complementation engine and component decomposition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fd.complementation import (
+    ComplementationEngine,
+    _join_consistent_same_schema,
+    _merge_same_schema,
+    connected_components,
+)
+from repro.table import NULL, Table
+
+
+class TestJoinConsistency:
+    def test_agreeing_tuples_are_consistent(self):
+        assert _join_consistent_same_schema(("a", NULL), ("a", "b"))
+
+    def test_conflicting_tuples_are_not(self):
+        assert not _join_consistent_same_schema(("a", "x"), ("a", "y"))
+
+    def test_requires_at_least_one_shared_value(self):
+        assert not _join_consistent_same_schema(("a", NULL), (NULL, "b"))
+
+    def test_merge_prefers_non_null(self):
+        assert _merge_same_schema(("a", NULL), (NULL, "b")) == ("a", "b")
+
+
+class TestEngine:
+    def test_closure_adds_merged_tuples(self):
+        engine = ComplementationEngine()
+        rows = [("1", "x", NULL), ("1", NULL, "y")]
+        prov = [frozenset({"a"}), frozenset({"b"})]
+        closed, closed_prov = engine.close(rows, prov)
+        assert ("1", "x", "y") in closed
+        merged_index = closed.index(("1", "x", "y"))
+        assert closed_prov[merged_index] == frozenset({"a", "b"})
+
+    def test_inputs_are_preserved(self):
+        engine = ComplementationEngine()
+        rows = [("1", "x", NULL), ("2", NULL, "y")]
+        closed, _ = engine.close(rows, [frozenset({"a"}), frozenset({"b"})])
+        assert set(rows) <= set(closed)
+
+    def test_duplicates_collapse_and_merge_provenance(self):
+        engine = ComplementationEngine()
+        rows = [("1", "x"), ("1", "x")]
+        closed, prov = engine.close(rows, [frozenset({"a"}), frozenset({"b"})])
+        assert len(closed) == 1
+        assert prov[0] == frozenset({"a", "b"})
+
+    def test_transitive_chain_produces_full_tuple(self):
+        engine = ComplementationEngine()
+        rows = [
+            ("k", "x", NULL, NULL),
+            ("k", NULL, "y", NULL),
+            ("k", NULL, NULL, "z"),
+        ]
+        closed, _ = engine.close(rows, [frozenset({str(i)}) for i in range(3)])
+        assert ("k", "x", "y", "z") in closed
+
+    def test_empty_input(self):
+        assert ComplementationEngine().close([], []) == ([], [])
+
+    def test_max_tuples_guard(self):
+        engine = ComplementationEngine(max_tuples=2)
+        rows = [("1", "a", NULL), ("1", NULL, "b"), ("1", "c", NULL)]
+        with pytest.raises(RuntimeError):
+            engine.close(rows, [frozenset({str(i)}) for i in range(3)])
+
+    def test_statistics_recorded(self):
+        statistics = {}
+        engine = ComplementationEngine()
+        engine.close(
+            [("1", "x", NULL), ("1", NULL, "y")],
+            [frozenset({"a"}), frozenset({"b"})],
+            statistics,
+        )
+        assert statistics["complementation_merges"] >= 1
+        assert statistics["complementation_tuples"] >= 3
+
+    def test_close_table_wrapper(self):
+        table = Table("t", ["k", "a", "b"], [("1", "x", NULL), ("1", NULL, "y")])
+        closed = ComplementationEngine().close_table(table)
+        assert closed.num_rows == 3
+
+
+class TestConnectedComponents:
+    def test_tuples_sharing_values_share_components(self):
+        rows = [("1", "x"), ("1", "y"), ("2", "z")]
+        components = connected_components(rows)
+        assert sorted(map(sorted, components)) == [[0, 1], [2]]
+
+    def test_nulls_do_not_connect(self):
+        rows = [(NULL, "x"), (NULL, "y")]
+        assert len(connected_components(rows)) == 2
+
+    def test_transitive_connection(self):
+        rows = [("1", "x"), ("1", "y"), ("y", "1")]
+        # Row 2 shares no value *in the same column* with rows 0/1.
+        components = connected_components(rows)
+        assert sorted(map(sorted, components)) == [[0, 1], [2]]
+
+    def test_every_row_appears_exactly_once(self):
+        rows = [("a", "b"), ("c", "d"), ("a", "d")]
+        components = connected_components(rows)
+        flattened = sorted(row for component in components for row in component)
+        assert flattened == [0, 1, 2]

@@ -1,0 +1,138 @@
+"""Tests for the bipartite assignment solvers."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.matching.assignment import (
+    GreedyAssignment,
+    HungarianAssignment,
+    ScipyAssignment,
+    available_solvers,
+    get_assignment_solver,
+)
+
+EXACT_SOLVERS = [ScipyAssignment, HungarianAssignment]
+ALL_SOLVERS = EXACT_SOLVERS + [GreedyAssignment]
+
+
+def brute_force_minimum(cost: np.ndarray) -> float:
+    """Optimal assignment cost by enumerating permutations (small matrices only)."""
+    rows, cols = cost.shape
+    transposed = rows > cols
+    matrix = cost.T if transposed else cost
+    best = float("inf")
+    size = matrix.shape[0]
+    for permutation in itertools.permutations(range(matrix.shape[1]), size):
+        total = sum(matrix[i, permutation[i]] for i in range(size))
+        best = min(best, total)
+    return best
+
+
+class TestSolverRegistry:
+    def test_available(self):
+        assert set(available_solvers()) == {"scipy", "hungarian", "greedy"}
+
+    def test_get_by_name(self):
+        assert get_assignment_solver("hungarian").name == "hungarian"
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            get_assignment_solver("magic")
+
+
+class TestAssignmentBasics:
+    @pytest.mark.parametrize("solver_cls", ALL_SOLVERS)
+    def test_identity_matrix_prefers_diagonal(self, solver_cls):
+        cost = np.ones((3, 3)) - np.eye(3)
+        pairs = solver_cls().solve(cost)
+        assert sorted(pairs) == [(0, 0), (1, 1), (2, 2)]
+
+    @pytest.mark.parametrize("solver_cls", ALL_SOLVERS)
+    def test_rectangular_wide(self, solver_cls):
+        cost = np.array([[0.1, 0.9, 0.5], [0.8, 0.2, 0.4]])
+        pairs = solver_cls().solve(cost)
+        assert len(pairs) == 2
+        rows = [row for row, _ in pairs]
+        cols = [col for _, col in pairs]
+        assert len(set(rows)) == 2 and len(set(cols)) == 2
+
+    @pytest.mark.parametrize("solver_cls", ALL_SOLVERS)
+    def test_rectangular_tall(self, solver_cls):
+        cost = np.array([[0.1, 0.9], [0.8, 0.2], [0.5, 0.6]])
+        pairs = solver_cls().solve(cost)
+        assert len(pairs) == 2
+
+    @pytest.mark.parametrize("solver_cls", ALL_SOLVERS)
+    def test_empty_matrix(self, solver_cls):
+        assert solver_cls().solve(np.zeros((0, 3))) == []
+
+    @pytest.mark.parametrize("solver_cls", ALL_SOLVERS)
+    def test_single_cell(self, solver_cls):
+        assert solver_cls().solve(np.array([[0.3]])) == [(0, 0)]
+
+    @pytest.mark.parametrize("solver_cls", ALL_SOLVERS)
+    def test_rejects_non_finite(self, solver_cls):
+        with pytest.raises(ValueError):
+            solver_cls().solve(np.array([[np.nan]]))
+
+    @pytest.mark.parametrize("solver_cls", ALL_SOLVERS)
+    def test_rejects_non_2d(self, solver_cls):
+        with pytest.raises(ValueError):
+            solver_cls().solve(np.zeros(3))
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("solver_cls", EXACT_SOLVERS)
+    def test_known_optimum(self, solver_cls):
+        cost = np.array(
+            [
+                [4.0, 1.0, 3.0],
+                [2.0, 0.0, 5.0],
+                [3.0, 2.0, 2.0],
+            ]
+        )
+        assert solver_cls().total_cost(cost) == pytest.approx(5.0)
+
+    def test_greedy_can_be_suboptimal(self):
+        cost = np.array([[1.0, 2.0], [1.0, 100.0]])
+        greedy = GreedyAssignment().total_cost(cost)
+        optimal = ScipyAssignment().total_cost(cost)
+        assert greedy >= optimal
+
+    @given(
+        npst.arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(1, 4), st.integers(1, 4)),
+            elements=st.floats(0, 10, allow_nan=False),
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_hungarian_matches_scipy_and_brute_force(self, cost):
+        scipy_cost = ScipyAssignment().total_cost(cost)
+        hungarian_cost = HungarianAssignment().total_cost(cost)
+        brute = brute_force_minimum(cost)
+        assert hungarian_cost == pytest.approx(scipy_cost, abs=1e-9)
+        assert hungarian_cost == pytest.approx(brute, abs=1e-9)
+
+    @given(
+        npst.arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(1, 5), st.integers(1, 5)),
+            elements=st.floats(0, 1, allow_nan=False),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_assignments_are_valid_matchings(self, cost):
+        for solver_cls in ALL_SOLVERS:
+            pairs = solver_cls().solve(cost)
+            rows = [row for row, _ in pairs]
+            cols = [col for _, col in pairs]
+            assert len(set(rows)) == len(rows)
+            assert len(set(cols)) == len(cols)
+            assert len(pairs) == min(cost.shape)

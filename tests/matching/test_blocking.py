@@ -1,0 +1,96 @@
+"""Tests for blocked fuzzy value matching."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.embeddings import MistralEmbedder
+from repro.matching import BipartiteValueMatcher, BlockedValueMatcher, ValueBlocker
+from repro.matching.distance import EmbeddingDistance
+
+
+@pytest.fixture(scope="module")
+def embedder():
+    return MistralEmbedder()
+
+
+class TestValueBlocker:
+    def test_keys_include_prefixes_and_grams(self):
+        keys = ValueBlocker(use_lexicon=False).keys("Berlin")
+        assert "p:berl" in keys
+        assert any(key.startswith("g:") for key in keys)
+
+    def test_lexicon_key_joins_abbreviations(self):
+        blocker = ValueBlocker(use_lexicon=True)
+        assert blocker.keys("United States") & blocker.keys("US")
+
+    def test_without_lexicon_disjoint_surfaces_do_not_share_blocks(self):
+        blocker = ValueBlocker(use_lexicon=False)
+        assert not (blocker.keys("United States") & blocker.keys("US"))
+
+    def test_typos_share_blocks(self):
+        blocker = ValueBlocker(use_lexicon=False)
+        assert blocker.keys("Berlin") & blocker.keys("Berlinn")
+
+    def test_candidate_pairs_subset_of_cartesian(self):
+        blocker = ValueBlocker()
+        left = ["Berlin", "Toronto"]
+        right = ["Berlinn", "Boston", "Toronto"]
+        pairs = blocker.candidate_pairs(left, right)
+        assert set(pairs) <= {(i, j) for i in range(2) for j in range(3)}
+        assert (0, 0) in pairs  # Berlin / Berlinn
+        assert (1, 2) in pairs  # Toronto / Toronto
+
+    def test_empty_value_still_gets_some_key_or_none(self):
+        assert ValueBlocker().keys("") == set() or ValueBlocker().keys("")
+
+
+class TestBlockedValueMatcher:
+    def test_matches_agree_with_unblocked_on_small_input(self, embedder):
+        left = ["Germany", "Canada", "Spain", "India", "Berlin"]
+        right = ["DE", "CA", "ES", "US", "Berlinn"]
+        blocked = BlockedValueMatcher(embedder, threshold=0.7)
+        unblocked = BipartiteValueMatcher(EmbeddingDistance(embedder), threshold=0.7)
+        blocked_pairs = {match.as_tuple() for match in blocked.match(left, right)}
+        unblocked_pairs = {match.as_tuple() for match in unblocked.match(left, right)}
+        assert blocked_pairs == unblocked_pairs
+
+    def test_blocking_reduces_scored_pairs(self, embedder):
+        left = [f"Entity Alpha {i}" for i in range(20)] + ["Berlin"]
+        right = [f"Different Beta {i}" for i in range(20)] + ["Berlinn"]
+        matcher = BlockedValueMatcher(embedder, threshold=0.7)
+        matches = matcher.match(left, right)
+        statistics = matcher.last_statistics
+        assert statistics is not None
+        assert statistics.candidate_pairs < statistics.full_matrix_pairs
+        assert statistics.reduction_ratio > 0.0
+        assert ("Berlin", "Berlinn") in {match.as_tuple() for match in matches}
+
+    def test_each_value_matched_at_most_once(self, embedder):
+        matcher = BlockedValueMatcher(embedder, threshold=0.7)
+        matches = matcher.match(["Berlin", "Berlin City"], ["Berlinn"])
+        assert len(matches) <= 1
+
+    def test_empty_inputs(self, embedder):
+        matcher = BlockedValueMatcher(embedder)
+        assert matcher.match([], ["x"]) == []
+        assert matcher.last_statistics.candidate_pairs == 0
+
+    def test_threshold_validated(self, embedder):
+        with pytest.raises(ValueError):
+            BlockedValueMatcher(embedder, threshold=1.5)
+
+    def test_exact_first_variant(self, embedder):
+        matcher = BlockedValueMatcher(embedder, threshold=0.7)
+        matches = matcher.match_exact_first(["Toronto", "Berlin"], ["Toronto", "Berlinn"])
+        assert {match.as_tuple() for match in matches} == {
+            ("Toronto", "Toronto"),
+            ("Berlin", "Berlinn"),
+        }
+
+    def test_prohibitive_cost_never_selected(self, embedder):
+        # Values sharing no block are never matched even if the assignment
+        # would otherwise be forced to pair them.
+        matcher = BlockedValueMatcher(embedder, threshold=0.99, blocker=ValueBlocker(use_lexicon=False))
+        matches = matcher.match(["Zebra"], ["Quokka"])
+        assert matches == []

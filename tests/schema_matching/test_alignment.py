@@ -1,0 +1,131 @@
+"""Tests for column alignment structures and schema matchers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.schema_matching import (
+    AlignedColumn,
+    ColumnAlignment,
+    ColumnRef,
+    HeaderSchemaMatcher,
+    HolisticSchemaMatcher,
+    column_signature,
+)
+from repro.embeddings import FastTextEmbedder
+from repro.table import Table
+
+
+@pytest.fixture()
+def covid_renamed(covid_tables):
+    """Figure 1 tables with one header renamed, so headers alone are not enough."""
+    t1, t2, t3 = covid_tables
+    return [t1.rename({"City": "Municipality"}), t2, t3]
+
+
+class TestColumnAlignment:
+    def test_from_named_columns_groups_equal_headers(self, covid_tables):
+        alignment = ColumnAlignment.from_named_columns(covid_tables)
+        groups = alignment.as_dict()
+        assert set(groups["City"]) == {"T1.City", "T2.City", "T3.City"}
+        assert set(groups["Country"]) == {"T1.Country", "T2.Country"}
+
+    def test_multi_table_groups(self, covid_tables):
+        alignment = ColumnAlignment.from_named_columns(covid_tables)
+        multi = {group.name for group in alignment.multi_table_groups()}
+        assert multi == {"City", "Country"}
+
+    def test_rename_map_and_apply(self):
+        alignment = ColumnAlignment(
+            [
+                AlignedColumn("city", [ColumnRef("a", "Town"), ColumnRef("b", "City")]),
+                AlignedColumn("b.extra", [ColumnRef("b", "extra")]),
+            ]
+        )
+        table_a = Table("a", ["Town"], [("Berlin",)])
+        table_b = Table("b", ["City", "extra"], [("Boston", "x")])
+        renamed = alignment.apply([table_a, table_b])
+        assert renamed[0].columns == ("city",)
+        assert renamed[1].columns == ("city", "b.extra")
+
+    def test_duplicate_column_in_two_groups_rejected(self):
+        ref = ColumnRef("a", "x")
+        with pytest.raises(ValueError):
+            ColumnAlignment([AlignedColumn("g1", [ref]), AlignedColumn("g2", [ref])])
+
+    def test_two_columns_of_same_table_in_group_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnAlignment(
+                [AlignedColumn("g", [ColumnRef("a", "x"), ColumnRef("a", "y")])]
+            )
+
+    def test_group_for_lookup(self, covid_tables):
+        alignment = ColumnAlignment.from_named_columns(covid_tables)
+        group = alignment.group_for("T2", "VaxRate")
+        assert group is not None and len(group) == 1
+        assert alignment.group_for("T2", "missing") is None
+
+
+class TestHeaderMatcher:
+    def test_groups_by_normalised_header(self, covid_tables):
+        alignment = HeaderSchemaMatcher().align(covid_tables)
+        assert alignment.group_for("T1", "City").name == alignment.group_for("T3", "City").name
+
+    def test_case_insensitive_headers(self):
+        left = Table("l", ["city"], [("Berlin",)])
+        right = Table("r", ["City"], [("Boston",)])
+        alignment = HeaderSchemaMatcher().align([left, right])
+        assert len(alignment.multi_table_groups()) == 1
+
+
+class TestColumnSignature:
+    def test_signature_fields(self, covid_tables):
+        signature = column_signature(covid_tables[0], "City", FastTextEmbedder())
+        assert signature.table == "T1"
+        assert signature.embedding.shape == (256,)
+        assert 0.0 <= signature.numeric_fraction <= 1.0
+        assert signature.distinct_fraction == 1.0
+
+    def test_numeric_column_detected(self):
+        table = Table("t", ["n"], [("1",), ("2.5",), ("3",)])
+        signature = column_signature(table, "n", FastTextEmbedder())
+        assert signature.numeric_fraction == 1.0
+
+    def test_similarity_of_same_content_columns_is_high(self):
+        left = Table("l", ["c"], [("Berlin",), ("Boston",), ("Toronto",)])
+        right = Table("r", ["d"], [("Berlin",), ("Toronto",), ("Madrid",)])
+        embedder = FastTextEmbedder()
+        sig_left = column_signature(left, "c", embedder)
+        sig_right = column_signature(right, "d", embedder)
+        unrelated = Table("u", ["x"], [("12",), ("85",), ("97",)])
+        sig_unrelated = column_signature(unrelated, "x", embedder)
+        assert sig_left.similarity(sig_right) > sig_left.similarity(sig_unrelated)
+
+
+class TestHolisticMatcher:
+    def test_aligns_city_columns_despite_renamed_header(self, covid_renamed):
+        alignment = HolisticSchemaMatcher().align(covid_renamed)
+        group = alignment.group_for("T1", "Municipality")
+        assert group is not None
+        members = {str(member) for member in group.members}
+        assert "T2.City" in members or "T3.City" in members
+
+    def test_never_groups_columns_of_same_table(self, covid_tables):
+        alignment = HolisticSchemaMatcher().align(covid_tables)
+        for group in alignment:
+            tables = group.tables()
+            assert len(tables) == len(set(tables))
+
+    def test_every_column_is_covered_exactly_once(self, covid_tables):
+        alignment = HolisticSchemaMatcher().align(covid_tables)
+        refs = [str(member) for group in alignment for member in group.members]
+        expected = [
+            f"{table.name}.{column}" for table in covid_tables for column in table.columns
+        ]
+        assert sorted(refs) == sorted(expected)
+
+    def test_header_bonus_helps_equal_headers(self, covid_tables):
+        alignment = HolisticSchemaMatcher().align(covid_tables)
+        city_group = alignment.group_for("T1", "City")
+        assert city_group is not None
+        assert len(city_group) >= 2

@@ -1,0 +1,210 @@
+"""Tests for relational operations (joins, outer union, subsumption)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.table import (
+    NULL,
+    Table,
+    concat_rows,
+    cross_product,
+    full_outer_join,
+    inner_join,
+    is_null,
+    left_outer_join,
+    outer_union,
+    remove_subsumed,
+    subsumes,
+)
+from repro.table.nulls import LabeledNull
+from repro.table.operations import join_consistent, merge_rows
+from repro.table.schema import Schema
+
+
+@pytest.fixture()
+def cities():
+    return Table("cities", ["City", "Country"], [("Berlin", "DE"), ("Boston", "US"), ("Lyon", "FR")])
+
+
+@pytest.fixture()
+def stats():
+    return Table("stats", ["City", "Cases"], [("Berlin", 10), ("Boston", 20), ("Madrid", 30)])
+
+
+class TestInnerJoin:
+    def test_joins_on_shared_column(self, cities, stats):
+        joined = inner_join(cities, stats)
+        assert set(joined.columns) == {"City", "Country", "Cases"}
+        assert joined.num_rows == 2
+        by_city = {row["City"]: row for row in joined}
+        assert by_city["Berlin"]["Cases"] == 10
+
+    def test_no_shared_columns_yields_empty(self):
+        left = Table("l", ["a"], [(1,)])
+        right = Table("r", ["b"], [(2,)])
+        assert inner_join(left, right).num_rows == 0
+
+    def test_null_join_values_do_not_match(self):
+        left = Table("l", ["k", "x"], [(NULL, 1)])
+        right = Table("r", ["k", "y"], [(NULL, 2)])
+        assert inner_join(left, right).num_rows == 0
+
+    def test_multi_match_produces_all_combinations(self):
+        left = Table("l", ["k", "x"], [("a", 1)])
+        right = Table("r", ["k", "y"], [("a", 2), ("a", 3)])
+        assert inner_join(left, right).num_rows == 2
+
+
+class TestOuterJoins:
+    def test_left_outer_preserves_unmatched_left(self, cities, stats):
+        joined = left_outer_join(cities, stats)
+        assert joined.num_rows == 3
+        lyon = next(row for row in joined if row["City"] == "Lyon")
+        assert is_null(lyon["Cases"])
+
+    def test_full_outer_preserves_both_sides(self, cities, stats):
+        joined = full_outer_join(cities, stats)
+        assert joined.num_rows == 4
+        madrid = next(row for row in joined if row["City"] == "Madrid")
+        assert is_null(madrid["Country"])
+
+    def test_full_outer_without_shared_columns_keeps_everything(self):
+        left = Table("l", ["a"], [(1,)])
+        right = Table("r", ["b"], [(2,)])
+        joined = full_outer_join(left, right)
+        assert joined.num_rows == 2
+
+    def test_provenance_merged_on_join(self, cities, stats):
+        joined = full_outer_join(cities.with_default_provenance(), stats.with_default_provenance())
+        berlin = next(i for i, row in enumerate(joined) if row["City"] == "Berlin")
+        assert joined.provenance[berlin] == frozenset({"cities:0", "stats:0"})
+
+
+class TestJoinHelpers:
+    def test_join_consistent_requires_agreement(self):
+        shared = [(0, 0)]
+        assert join_consistent(("a",), ("a",), shared)
+        assert not join_consistent(("a",), ("b",), shared)
+
+    def test_join_consistent_requires_some_non_null(self):
+        shared = [(0, 0)]
+        assert not join_consistent((NULL,), ("a",), shared)
+
+    def test_merge_rows_prefers_non_null(self):
+        left_schema = Schema(["a", "b"])
+        right_schema = Schema(["b", "c"])
+        output = left_schema.union(right_schema)
+        merged = merge_rows(("x", NULL), ("y", "z"), left_schema, right_schema, output)
+        assert merged == ("x", "y", "z")
+
+
+class TestOuterUnion:
+    def test_schema_is_union(self, cities, stats):
+        union = outer_union([cities, stats])
+        assert set(union.columns) == {"City", "Country", "Cases"}
+        assert union.num_rows == 6
+
+    def test_missing_attributes_are_null(self, cities, stats):
+        union = outer_union([cities, stats])
+        assert is_null(union.cell(0, "Cases"))
+
+    def test_labeled_nulls_are_unique(self, cities, stats):
+        union = outer_union([cities, stats], labeled_nulls=True)
+        first = union.cell(0, "Cases")
+        second = union.cell(1, "Cases")
+        assert isinstance(first, LabeledNull)
+        assert first != second
+
+    def test_provenance_defaults_to_table_row(self, cities, stats):
+        union = outer_union([cities, stats])
+        assert union.provenance[0] == frozenset({"cities:0"})
+        assert union.provenance[3] == frozenset({"stats:0"})
+
+    def test_requires_at_least_one_table(self):
+        with pytest.raises(ValueError):
+            outer_union([])
+
+
+class TestCrossProductAndConcat:
+    def test_cross_product_sizes(self):
+        left = Table("l", ["a"], [(1,), (2,)])
+        right = Table("r", ["b"], [(3,), (4,), (5,)])
+        assert cross_product(left, right).num_rows == 6
+
+    def test_cross_product_rejects_shared_columns(self, cities, stats):
+        with pytest.raises(ValueError):
+            cross_product(cities, stats)
+
+    def test_concat_requires_same_schema(self, cities, stats):
+        with pytest.raises(ValueError):
+            concat_rows("x", [cities, stats])
+
+    def test_concat_appends_rows(self, cities):
+        doubled = concat_rows("x", [cities, cities])
+        assert doubled.num_rows == 6
+
+
+class TestSubsumption:
+    def test_tuple_subsumes_itself(self):
+        assert subsumes(("a", "b"), ("a", "b"))
+
+    def test_more_informative_subsumes_less(self):
+        assert subsumes(("a", "b"), ("a", NULL))
+        assert not subsumes(("a", NULL), ("a", "b"))
+
+    def test_conflicting_values_do_not_subsume(self):
+        assert not subsumes(("a", "b"), ("a", "c"))
+
+    def test_remove_subsumed_drops_partial_tuples(self):
+        table = Table("t", ["a", "b"], [("x", "y"), ("x", NULL), (NULL, "y")])
+        reduced = remove_subsumed(table)
+        assert reduced.num_rows == 1
+        assert reduced.rows[0] == ("x", "y")
+
+    def test_remove_subsumed_merges_provenance(self):
+        table = Table(
+            "t",
+            ["a", "b"],
+            [("x", "y"), ("x", NULL)],
+            provenance=[{"p:0"}, {"q:0"}],
+        )
+        reduced = remove_subsumed(table)
+        assert reduced.num_rows == 1
+        assert reduced.provenance[0] == frozenset({"p:0", "q:0"})
+
+    def test_exact_duplicates_collapse(self):
+        table = Table("t", ["a"], [("x",), ("x",)])
+        assert remove_subsumed(table).num_rows == 1
+
+    def test_incomparable_tuples_are_kept(self):
+        table = Table("t", ["a", "b"], [("x", NULL), (NULL, "y")])
+        assert remove_subsumed(table).num_rows == 2
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.one_of(st.none(), st.sampled_from(["a", "b"])),
+                st.one_of(st.none(), st.sampled_from(["c", "d"])),
+                st.one_of(st.none(), st.sampled_from(["e", "f"])),
+            ),
+            max_size=14,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_remove_subsumed_is_minimal_and_complete(self, raw_rows):
+        rows = [tuple(NULL if cell is None else cell for cell in row) for row in raw_rows]
+        table = Table("t", ["a", "b", "c"], rows)
+        reduced = remove_subsumed(table)
+        kept = reduced.rows
+        # Minimality: no kept tuple is subsumed by a different kept tuple
+        # (duplicates have been collapsed, so distinct kept tuples must be
+        # incomparable under subsumption).
+        for i, left in enumerate(kept):
+            for j, right in enumerate(kept):
+                if i != j:
+                    assert not subsumes(left, right)
+        # Every original tuple is subsumed by some kept tuple.
+        for row in rows:
+            assert any(subsumes(keeper, row) for keeper in kept)

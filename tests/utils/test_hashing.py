@@ -1,0 +1,57 @@
+"""Tests for deterministic hashing and vector derivation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.hashing import stable_hash, stable_hash_floats, stable_rng, stable_vector
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("berlin") == stable_hash("berlin")
+
+    def test_seed_changes_value(self):
+        assert stable_hash("berlin", seed=1) != stable_hash("berlin", seed=2)
+
+    def test_different_text_different_hash(self):
+        assert stable_hash("berlin") != stable_hash("boston")
+
+    @given(st.text(max_size=30))
+    def test_always_64_bit_unsigned(self, text):
+        value = stable_hash(text)
+        assert 0 <= value < 2**64
+
+
+class TestStableFloats:
+    def test_length(self):
+        assert len(stable_hash_floats("x", 10)) == 10
+
+    def test_range(self):
+        values = stable_hash_floats("value", 64)
+        assert all(-1.0 <= value < 1.0 for value in values)
+
+    def test_deterministic(self):
+        assert stable_hash_floats("v", 16) == stable_hash_floats("v", 16)
+
+
+class TestStableVector:
+    def test_unit_norm(self):
+        vector = stable_vector("berlin", 128)
+        assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+    def test_deterministic_across_calls(self):
+        assert np.array_equal(stable_vector("berlin", 64), stable_vector("berlin", 64))
+
+    def test_distinct_texts_nearly_orthogonal(self):
+        left = stable_vector("berlin", 256)
+        right = stable_vector("boston", 256)
+        assert abs(float(np.dot(left, right))) < 0.35
+
+    def test_dimension_respected(self):
+        assert stable_vector("x", 17).shape == (17,)
+
+    def test_stable_rng_reproducible(self):
+        assert stable_rng("seed-text").integers(0, 1000) == stable_rng("seed-text").integers(0, 1000)

@@ -1,0 +1,93 @@
+"""Unit and property tests for the union-find structure."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.utils import UnionFind
+
+
+class TestUnionFindBasics:
+    def test_new_items_are_singletons(self):
+        uf = UnionFind(["a", "b"])
+        assert uf.find("a") == "a"
+        assert uf.find("b") == "b"
+        assert not uf.connected("a", "b")
+
+    def test_union_connects_items(self):
+        uf = UnionFind()
+        assert uf.union("a", "b") is True
+        assert uf.connected("a", "b")
+
+    def test_union_same_set_returns_false(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        assert uf.union("b", "a") is False
+
+    def test_union_is_transitive(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("b", "c")
+        assert uf.connected("a", "c")
+
+    def test_find_adds_unknown_items(self):
+        uf = UnionFind()
+        assert uf.find("new") == "new"
+        assert "new" in uf
+
+    def test_set_size(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("b", "c")
+        uf.add("d")
+        assert uf.set_size("a") == 3
+        assert uf.set_size("d") == 1
+
+    def test_groups_partition_all_items(self):
+        uf = UnionFind(["a", "b", "c", "d"])
+        uf.union("a", "b")
+        groups = uf.groups()
+        flattened = sorted(item for group in groups for item in group)
+        assert flattened == ["a", "b", "c", "d"]
+        assert len(groups) == 3
+
+    def test_cluster_labels_are_dense(self):
+        uf = UnionFind(["a", "b", "c"])
+        uf.union("a", "c")
+        labels = uf.to_cluster_labels()
+        assert set(labels) == {"a", "b", "c"}
+        assert labels["a"] == labels["c"]
+        assert labels["a"] != labels["b"]
+        assert set(labels.values()) == {0, 1}
+
+    def test_len_and_iter(self):
+        uf = UnionFind(["x", "y"])
+        assert len(uf) == 2
+        assert sorted(uf) == ["x", "y"]
+
+
+class TestUnionFindProperties:
+    @given(st.lists(st.tuples(st.integers(0, 30), st.integers(0, 30)), max_size=80))
+    def test_groups_form_a_partition(self, pairs):
+        uf = UnionFind()
+        for left, right in pairs:
+            uf.union(left, right)
+        groups = uf.groups()
+        seen = [item for group in groups for item in group]
+        assert len(seen) == len(set(seen)) == len(uf)
+
+    @given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20)), max_size=60))
+    def test_connected_iff_same_root(self, pairs):
+        uf = UnionFind()
+        for left, right in pairs:
+            uf.union(left, right)
+        items = list(uf)
+        for left in items[:10]:
+            for right in items[:10]:
+                assert uf.connected(left, right) == (uf.find(left) == uf.find(right))
+
+    @given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20)), max_size=60))
+    def test_union_count_matches_group_reduction(self, pairs):
+        uf = UnionFind()
+        successful_unions = sum(1 for left, right in pairs if uf.union(left, right))
+        assert len(uf.groups()) == len(uf) - successful_unions
