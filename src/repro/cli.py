@@ -61,6 +61,7 @@ def cmd_integrate(args: argparse.Namespace) -> int:
         threshold=args.threshold,
         fd_algorithm=args.fd_algorithm,
         alignment=args.alignment,
+        blocking=args.blocking,
     )
     result = integrate(tables, fuzzy=not args.regular, config=config)
     mode = "regular FD" if args.regular else "fuzzy FD"
@@ -95,7 +96,9 @@ def cmd_match(args: argparse.Namespace) -> int:
             columns.append(ColumnValues((table.name, column), values))
     if len(columns) < 2:
         raise SystemExit("error: need at least two non-empty columns to match")
-    matcher = ValueMatcher(get_embedder(args.embedder), threshold=args.threshold)
+    matcher = ValueMatcher(
+        get_embedder(args.embedder), threshold=args.threshold, blocking=args.blocking
+    )
     result = matcher.match_columns(columns)
     multi = [match_set for match_set in result.sets if len(match_set) > 1]
     print(f"{len(result.sets)} value sets ({len(multi)} with fuzzy matches):")
@@ -166,6 +169,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["alite", "incremental", "partitioned", "naive", "streaming"],
     )
     integrate_parser.add_argument("--alignment", default="by_name", choices=["by_name", "holistic"])
+    integrate_parser.add_argument(
+        "--blocking",
+        default="off",
+        choices=["off", "on", "auto"],
+        help="route wide column pairs through the component-wise blocked matcher",
+    )
     integrate_parser.add_argument("--max-rows", type=int, default=20, help="rows to print without --output")
     integrate_parser.add_argument("--show-rewrites", action="store_true", help="print the value rewrites applied")
     integrate_parser.set_defaults(func=cmd_integrate)
@@ -175,6 +184,12 @@ def build_parser() -> argparse.ArgumentParser:
     match_parser.add_argument("--column", default="value", help="column name to match (default: first column)")
     match_parser.add_argument("--embedder", default="mistral", choices=available_embedders())
     match_parser.add_argument("--threshold", type=float, default=0.7)
+    match_parser.add_argument(
+        "--blocking",
+        default="off",
+        choices=["off", "on", "auto"],
+        help="route wide column pairs through the component-wise blocked matcher",
+    )
     match_parser.add_argument("--all", action="store_true", help="also print singleton sets")
     match_parser.set_defaults(func=cmd_match)
 

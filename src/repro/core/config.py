@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
+from repro.core.value_matching import DEFAULT_BLOCKING_CUTOFF
 from repro.embeddings.base import ValueEmbedder
 from repro.embeddings.registry import get_embedder
 from repro.fd import get_algorithm
@@ -36,6 +37,15 @@ class FuzzyFDConfig:
     exact_first:
         Match identical values before running the optimal assignment on the
         remainder (cheaper and never harmful under clean-clean semantics).
+    blocking:
+        Whether the Match Values component routes column pairs through the
+        component-wise blocked matcher: ``"off"`` (the paper's exhaustive
+        matrix, the default), ``"on"`` (always block), or ``"auto"`` (block
+        only pairs whose cross product reaches ``blocking_cutoff`` cells —
+        the data-lake setting: paper-size columns stay exact, wide columns
+        go sparse).
+    blocking_cutoff:
+        Cell count ``|left| × |right|`` at which ``"auto"`` engages blocking.
     alignment:
         How columns are aligned when the caller does not pass an explicit
         alignment: ``"by_name"`` groups equal headers (the Figure 1 setting),
@@ -48,11 +58,21 @@ class FuzzyFDConfig:
     fd_algorithm: Union[str, FullDisjunctionAlgorithm] = "alite"
     representative_policy: str = "frequency"
     exact_first: bool = True
+    blocking: str = "off"
+    blocking_cutoff: int = DEFAULT_BLOCKING_CUTOFF
     alignment: str = "by_name"
 
     def __post_init__(self) -> None:
         if not 0.0 < self.threshold <= 1.0:
             raise ValueError(f"threshold must be in (0, 1], got {self.threshold}")
+        if self.blocking not in ("off", "on", "auto"):
+            raise ValueError(
+                f"blocking must be 'off', 'on' or 'auto', got {self.blocking!r}"
+            )
+        if self.blocking_cutoff <= 0:
+            raise ValueError(
+                f"blocking_cutoff must be positive, got {self.blocking_cutoff}"
+            )
         if self.alignment not in ("by_name", "holistic"):
             raise ValueError(
                 f"alignment must be 'by_name' or 'holistic', got {self.alignment!r}"

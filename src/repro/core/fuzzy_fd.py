@@ -41,8 +41,12 @@ class FuzzyIntegrationResult:
 
     @property
     def total_seconds(self) -> float:
-        """Total wall-clock time of the integration."""
-        return sum(self.timings.values())
+        """Total wall-clock time of the integration.
+
+        ``timings`` also carries work counters (the ``blocking_*`` keys);
+        only the ``*_seconds`` entries are durations.
+        """
+        return sum(value for key, value in self.timings.items() if key.endswith("_seconds"))
 
     @property
     def output_tuple_count(self) -> int:
@@ -72,6 +76,8 @@ class FuzzyFullDisjunction:
             solver=self._solver,
             representative_policy=self.config.representative_policy,
             exact_first=self.config.exact_first,
+            blocking=self.config.blocking,
+            blocking_cutoff=self.config.blocking_cutoff,
         )
 
     # -- public API -----------------------------------------------------------------
@@ -93,6 +99,20 @@ class FuzzyFullDisjunction:
         start = time.perf_counter()
         value_matching, rewritten = self._match_and_rewrite(aligned_tables, alignment)
         timings["value_matching_seconds"] = time.perf_counter() - start
+        if self.config.blocking != "off":
+            # Aggregate the per-group blocking counters next to the phase
+            # timings so callers see how much pairwise work blocking saved.
+            for key in ("blocking_pairs_scored", "blocking_pairs_avoided"):
+                timings[key] = sum(
+                    result.statistics.get(key, 0.0) for result in value_matching.values()
+                )
+            timings["blocking_largest_component"] = max(
+                (
+                    result.statistics.get("blocking_largest_component", 0.0)
+                    for result in value_matching.values()
+                ),
+                default=0.0,
+            )
 
         start = time.perf_counter()
         fd_result = self._fd.integrate(rewritten)

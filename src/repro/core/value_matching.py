@@ -27,8 +27,13 @@ from repro.core.representatives import select_representative
 from repro.embeddings.base import ValueEmbedder
 from repro.matching.assignment import AssignmentSolver
 from repro.matching.bipartite import BipartiteValueMatcher, ValueMatch
+from repro.matching.blocking import BlockedValueMatcher
 from repro.matching.clustering import ValueMatchSet
 from repro.matching.distance import EmbeddingDistance
+
+#: Cell count (``|left| × |right|``) at which ``blocking="auto"`` switches a
+#: column pair from the exhaustive matcher to the blocked engine.
+DEFAULT_BLOCKING_CUTOFF = 250_000
 
 ValueKey = Tuple[Hashable, object]
 
@@ -61,8 +66,12 @@ class ColumnValues:
                 seen.add(value)
                 deduplicated.append(value)
         self.values = deduplicated
-        if not self.counts:
-            self.counts = {value: 1 for value in self.values}
+        # A partially populated counts dict would silently give missing values
+        # no weight in frequency-based representative selection; default every
+        # uncounted value to 1.  Copy first — the caller's dict stays untouched.
+        self.counts = dict(self.counts)
+        for value in self.values:
+            self.counts.setdefault(value, 1)
 
     def __len__(self) -> int:
         return len(self.values)
@@ -131,13 +140,26 @@ class ValueMatcher:
         solver: Optional[AssignmentSolver] = None,
         representative_policy: str = "frequency",
         exact_first: bool = True,
+        blocking: str = "off",
+        blocking_cutoff: int = DEFAULT_BLOCKING_CUTOFF,
     ) -> None:
+        if blocking not in ("off", "on", "auto"):
+            raise ValueError(f"blocking must be 'off', 'on' or 'auto', got {blocking!r}")
+        if blocking_cutoff <= 0:
+            raise ValueError(f"blocking_cutoff must be positive, got {blocking_cutoff}")
         self.embedder = embedder
         self.threshold = threshold
         self.representative_policy = representative_policy
         self.exact_first = exact_first
+        self.blocking = blocking
+        self.blocking_cutoff = blocking_cutoff
         self._matcher = BipartiteValueMatcher(
             distance=EmbeddingDistance(embedder), threshold=threshold, solver=solver
+        )
+        self._blocked_matcher = (
+            BlockedValueMatcher(embedder, threshold=threshold, solver=solver)
+            if blocking != "off"
+            else None
         )
 
     # -- public API ---------------------------------------------------------------
@@ -145,9 +167,10 @@ class ValueMatcher:
         self, left: ColumnValues, right: ColumnValues
     ) -> List[ValueMatch]:
         """Bipartite matches between two columns (used directly by benchmarks)."""
+        matcher = self._matcher_for(len(left.values), len(right.values))
         if self.exact_first:
-            return self._matcher.match_exact_first(left.values, right.values)
-        return self._matcher.match(left.values, right.values)
+            return matcher.match_exact_first(left.values, right.values)
+        return matcher.match(left.values, right.values)
 
     def match_columns(self, columns: Sequence[ColumnValues]) -> ValueMatchingResult:
         """Run the full sequential combined-column procedure over ``columns``."""
@@ -160,6 +183,14 @@ class ValueMatcher:
             "columns": float(len(columns)),
             "values": float(sum(len(column) for column in columns)),
         }
+        if self.blocking != "off":
+            statistics.update(
+                blocked_assignments=0.0,
+                blocking_components=0.0,
+                blocking_largest_component=0.0,
+                blocking_pairs_scored=0.0,
+                blocking_pairs_avoided=0.0,
+            )
 
         groups = [
             _Group(members=[(columns[0].column_id, value)], representative=value)
@@ -170,13 +201,24 @@ class ValueMatcher:
         accepted = 0
         for column in columns[1:]:
             combined_values = [group.representative for group in groups]
+            matcher = self._matcher_for(len(combined_values), len(column.values))
             matches = (
-                self._matcher.match_exact_first(combined_values, column.values)
+                matcher.match_exact_first(combined_values, column.values)
                 if self.exact_first
-                else self._matcher.match(combined_values, column.values)
+                else matcher.match(combined_values, column.values)
             )
             assignments += 1
             accepted += len(matches)
+            if isinstance(matcher, BlockedValueMatcher) and matcher.last_statistics:
+                blocking_stats = matcher.last_statistics
+                statistics["blocked_assignments"] += 1.0
+                statistics["blocking_components"] += float(blocking_stats.components)
+                statistics["blocking_largest_component"] = max(
+                    statistics["blocking_largest_component"],
+                    float(blocking_stats.largest_component),
+                )
+                statistics["blocking_pairs_scored"] += float(blocking_stats.pairs_scored)
+                statistics["blocking_pairs_avoided"] += float(blocking_stats.pairs_avoided)
 
             groups_by_representative: Dict[object, List[_Group]] = {}
             for group in groups:
@@ -213,6 +255,16 @@ class ValueMatcher:
         return ValueMatchingResult(sets=sets, column_order=column_order, statistics=statistics)
 
     # -- helpers --------------------------------------------------------------------
+    def _matcher_for(self, left_count: int, right_count: int):
+        """Route one column pair to the exhaustive or the blocked matcher."""
+        if self._blocked_matcher is None:
+            return self._matcher
+        if self.blocking == "on":
+            return self._blocked_matcher
+        if left_count * right_count >= self.blocking_cutoff:
+            return self._blocked_matcher
+        return self._matcher
+
     @staticmethod
     def _global_frequencies(columns: Sequence[ColumnValues]) -> Dict[object, int]:
         """Occurrences of each surface value across all aligning columns."""

@@ -93,12 +93,22 @@ class EmbeddingCache:
         return vector
 
     def put(self, model: str, text: str, vector: np.ndarray) -> None:
-        """Insert a vector, evicting arbitrary entries if over capacity."""
-        if self.max_entries is not None and len(self._store) >= self.max_entries:
+        """Insert a vector, evicting arbitrary entries if over capacity.
+
+        Overwriting an existing key never evicts: the store size does not
+        grow, so no live entry needs to make room.
+        """
+        key = (model, text)
+        if (
+            self.max_entries is not None
+            and key not in self._store
+            and len(self._store) >= self.max_entries
+            and self._store
+        ):
             # Simple eviction: drop the oldest inserted entry.
             oldest = next(iter(self._store))
             del self._store[oldest]
-        self._store[(model, text)] = vector
+        self._store[key] = vector
 
     def clear(self) -> None:
         """Drop every cached vector and reset the statistics."""

@@ -15,8 +15,13 @@ from repro.matching.assignment import (
     ScipyAssignment,
     get_assignment_solver,
 )
-from repro.matching.bipartite import BipartiteValueMatcher, ValueMatch
-from repro.matching.blocking import BlockedValueMatcher, BlockingStatistics, ValueBlocker
+from repro.matching.bipartite import BipartiteValueMatcher, ValueMatch, split_exact_matches
+from repro.matching.blocking import (
+    PROHIBITIVE_COST,
+    BlockedValueMatcher,
+    BlockingStatistics,
+    ValueBlocker,
+)
 from repro.matching.clustering import MatchSetBuilder, ValueMatchSet
 from repro.matching.distance import (
     DistanceFunction,
@@ -38,9 +43,11 @@ __all__ = [
     "GreedyAssignment",
     "get_assignment_solver",
     "BipartiteValueMatcher",
+    "split_exact_matches",
     "BlockedValueMatcher",
     "ValueBlocker",
     "BlockingStatistics",
+    "PROHIBITIVE_COST",
     "ValueMatch",
     "MatchSetBuilder",
     "ValueMatchSet",

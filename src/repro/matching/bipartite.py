@@ -11,7 +11,7 @@ because its distance exceeds the threshold).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -30,6 +30,35 @@ class ValueMatch:
     def as_tuple(self) -> tuple:
         """Return ``(left, right)`` for quick set comparisons in tests."""
         return (self.left, self.right)
+
+
+def split_exact_matches(
+    left_values: Sequence[object], right_values: Sequence[object]
+) -> Tuple[List[ValueMatch], List[object], List[object]]:
+    """Pair identical values positionally before any fuzzy matching.
+
+    Returns ``(exact_matches, left_remaining, right_remaining)``.  Each exact
+    match consumes one left *position* (not every copy of the value), so
+    surviving duplicates of a matched value still reach the fuzzy stage.
+    Shared by the exhaustive and the blocked matcher.
+    """
+    left_positions: Dict[object, List[int]] = {}
+    for position, value in enumerate(left_values):
+        left_positions.setdefault(value, []).append(position)
+    matches: List[ValueMatch] = []
+    consumed: Set[int] = set()
+    right_remaining: List[object] = []
+    for value in right_values:
+        bucket = left_positions.get(value)
+        if bucket:
+            consumed.add(bucket.pop(0))
+            matches.append(ValueMatch(left=value, right=value, distance=0.0))
+        else:
+            right_remaining.append(value)
+    left_remaining = [
+        value for position, value in enumerate(left_values) if position not in consumed
+    ]
+    return matches, left_remaining, right_remaining
 
 
 class BipartiteValueMatcher:
@@ -98,17 +127,9 @@ class BipartiteValueMatcher:
         marginally cheaper fuzzy pair.  This is the variant the Fuzzy FD
         pipeline uses by default.
         """
-        left_index = {value: position for position, value in enumerate(left_values)}
-        matches: List[ValueMatch] = []
-        right_remaining: List[object] = []
-        matched_left = set()
-        for value in right_values:
-            if value in left_index and value not in matched_left:
-                matches.append(ValueMatch(left=value, right=value, distance=0.0))
-                matched_left.add(value)
-            else:
-                right_remaining.append(value)
-        left_remaining = [value for value in left_values if value not in matched_left]
+        matches, left_remaining, right_remaining = split_exact_matches(
+            left_values, right_values
+        )
         matches.extend(self.match(left_remaining, right_remaining))
         matches.sort(key=lambda match: (match.distance, str(match.left), str(match.right)))
         return matches

@@ -78,3 +78,11 @@ class TestAblationHarnesses:
         results = module.run_blocking_ablation(n_sets=2, values_per_column=20)
         assert set(results) == {"exhaustive", "blocked"}
         assert results["blocked"]["scored_pair_fraction"] <= 1.0
+
+    def test_blocking_scale_benchmark(self):
+        module = _load("bench_ablation_blocking")
+        scale = module.run_component_scale_benchmark(n_values=150)
+        assert scale["identical_matches"] == 1.0
+        assert scale["component_peak_matrix"] <= scale["dense_peak_matrix"]
+        assert scale["components"] > 1.0
+        assert module.scale_report(scale)

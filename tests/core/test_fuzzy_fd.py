@@ -49,6 +49,17 @@ class TestConfig:
         with pytest.raises(ValueError):
             FuzzyFDConfig(alignment="guess")
 
+    def test_invalid_blocking(self):
+        with pytest.raises(ValueError):
+            FuzzyFDConfig(blocking="maybe")
+        with pytest.raises(ValueError):
+            FuzzyFDConfig(blocking="auto", blocking_cutoff=-1)
+
+    def test_blocking_defaults_off(self):
+        config = FuzzyFDConfig()
+        assert config.blocking == "off"
+        assert config.blocking_cutoff > 0
+
 
 class TestIntegrateConvenience:
     def test_fuzzy_and_regular_paths(self, covid_tables):
@@ -124,6 +135,25 @@ class TestFuzzyFullDisjunction:
         config = FuzzyFDConfig(fd_algorithm="incremental")
         result = FuzzyFullDisjunction(config).integrate(covid_tables)
         assert result.table.num_rows == 5
+
+    def test_blocking_on_gives_same_figure1_result(self, covid_tables):
+        config = FuzzyFDConfig(blocking="on")
+        result = FuzzyFullDisjunction(config).integrate(covid_tables)
+        assert result.table.num_rows == 5
+        assert "blocking_pairs_scored" in result.timings
+        assert "blocking_pairs_avoided" in result.timings
+        assert "blocking_largest_component" in result.timings
+        # The work counters ride along in timings but must not be summed into
+        # the wall-clock total.
+        assert result.total_seconds == sum(
+            value for key, value in result.timings.items() if key.endswith("_seconds")
+        )
+
+    def test_blocking_auto_engages_only_above_cutoff(self, covid_tables):
+        config = FuzzyFDConfig(blocking="auto", blocking_cutoff=2)
+        result = FuzzyFullDisjunction(config).integrate(covid_tables)
+        assert result.table.num_rows == 5
+        assert result.timings["blocking_pairs_scored"] > 0.0
 
 
 class TestRegularFullDisjunction:

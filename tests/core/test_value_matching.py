@@ -27,6 +27,17 @@ class TestColumnValues:
         column = ColumnValues("c", ["a"], counts={"a": 5})
         assert column.counts["a"] == 5
 
+    def test_partial_counts_default_missing_values_to_one(self):
+        # A partially populated counts dict must not leave the uncounted
+        # values weightless in frequency-based representative selection.
+        column = ColumnValues("c", ["a", "b", "c"], counts={"b": 3})
+        assert column.counts == {"a": 1, "b": 3, "c": 1}
+
+    def test_caller_counts_dict_not_mutated(self):
+        counts = {"b": 3}
+        ColumnValues("c", ["a", "b"], counts=counts)
+        assert counts == {"b": 3}
+
 
 class TestRepresentativePolicies:
     MEMBERS = [("c1", "Berlinn"), ("c2", "Berlin"), ("c3", "Berlin")]
@@ -193,3 +204,69 @@ class TestMatchColumnsGeneral:
         result = matcher.match_columns(columns)
         pairs = result.matched_pairs()
         assert len(pairs) == 3
+
+
+class TestBlockingRouting:
+    def test_invalid_blocking_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ValueMatcher(MistralEmbedder(), blocking="maybe")
+        with pytest.raises(ValueError):
+            ValueMatcher(MistralEmbedder(), blocking="auto", blocking_cutoff=0)
+
+    def test_blocking_on_routes_through_blocked_matcher(self):
+        matcher = ValueMatcher(MistralEmbedder(), threshold=0.7, blocking="on")
+        columns = [
+            ColumnValues("c1", ["Berlin", "Toronto"]),
+            ColumnValues("c2", ["Berlinn", "Toronto"]),
+        ]
+        result = matcher.match_columns(columns)
+        assert result.statistics["blocked_assignments"] == 1.0
+        assert result.statistics["blocking_components"] >= 1.0
+        assert result.statistics["blocking_pairs_avoided"] >= 0.0
+        merged = [match_set for match_set in result.sets if len(match_set) == 2]
+        assert len(merged) == 2
+
+    def test_auto_keeps_small_pairs_exact(self):
+        matcher = ValueMatcher(
+            MistralEmbedder(), threshold=0.7, blocking="auto", blocking_cutoff=10_000
+        )
+        columns = [
+            ColumnValues("c1", ["Berlin", "Toronto"]),
+            ColumnValues("c2", ["Berlinn", "Toronto"]),
+        ]
+        result = matcher.match_columns(columns)
+        assert result.statistics["blocked_assignments"] == 0.0
+
+    def test_auto_engages_blocking_above_cutoff(self):
+        matcher = ValueMatcher(
+            MistralEmbedder(), threshold=0.7, blocking="auto", blocking_cutoff=4
+        )
+        columns = [
+            ColumnValues("c1", ["Berlin", "Toronto", "Madrid"]),
+            ColumnValues("c2", ["Berlinn", "Toronto", "Madrid"]),
+        ]
+        result = matcher.match_columns(columns)
+        assert result.statistics["blocked_assignments"] == 1.0
+
+    def test_blocking_off_omits_blocking_statistics(self, matcher):
+        columns = [
+            ColumnValues("c1", ["Berlin"]),
+            ColumnValues("c2", ["Berlinn"]),
+        ]
+        result = matcher.match_columns(columns)
+        assert "blocked_assignments" not in result.statistics
+
+    def test_blocked_and_exhaustive_agree_on_small_columns(self):
+        columns = [
+            ColumnValues("c1", ["Berlin", "Toronto", "Barcelona"]),
+            ColumnValues("c2", ["Berlinn", "Toronto", "barcelona"]),
+        ]
+        exhaustive = ValueMatcher(MistralEmbedder(), threshold=0.7)
+        blocked = ValueMatcher(MistralEmbedder(), threshold=0.7, blocking="on")
+        exhaustive_sets = {
+            tuple(match_set.members) for match_set in exhaustive.match_columns(columns).sets
+        }
+        blocked_sets = {
+            tuple(match_set.members) for match_set in blocked.match_columns(columns).sets
+        }
+        assert exhaustive_sets == blocked_sets

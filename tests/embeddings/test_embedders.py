@@ -148,6 +148,25 @@ class TestEmbeddingCache:
             embedder.embed(value)
         assert len(cache) == 2
 
+    def test_overwrite_at_capacity_does_not_evict(self):
+        import numpy as np
+
+        cache = EmbeddingCache(max_entries=2)
+        cache.put("m", "a", np.zeros(2))
+        cache.put("m", "b", np.zeros(2))
+        cache.put("m", "a", np.ones(2))
+        assert len(cache) == 2
+        assert cache.get("m", "b") is not None
+        assert cache.get("m", "a")[0] == 1.0
+
+    def test_zero_capacity_does_not_crash(self):
+        import numpy as np
+
+        cache = EmbeddingCache(max_entries=0)
+        cache.put("m", "a", np.zeros(2))
+        cache.put("m", "b", np.zeros(2))
+        assert len(cache) == 1
+
     def test_clear(self):
         cache = EmbeddingCache()
         embedder = FastTextEmbedder(cache=cache)

@@ -69,6 +69,26 @@ class TestBipartiteMatcher:
             ("Berlin", "Berlinn"),
         }
 
+    def test_exact_first_keeps_duplicate_left_values(self, mistral_matcher):
+        # An exact match consumes one left position, not every copy of the
+        # value; the surviving duplicate still reaches the fuzzy stage.
+        matches = mistral_matcher.match_exact_first(
+            ["Berlin", "Berlin"], ["Berlin", "Berlinn"]
+        )
+        assert sorted(match.as_tuple() for match in matches) == [
+            ("Berlin", "Berlin"),
+            ("Berlin", "Berlinn"),
+        ]
+
+    def test_exact_first_keeps_duplicate_right_values(self, mistral_matcher):
+        matches = mistral_matcher.match_exact_first(
+            ["Berlin", "Berlinn"], ["Berlin", "Berlin"]
+        )
+        assert sorted(match.as_tuple() for match in matches) == [
+            ("Berlin", "Berlin"),
+            ("Berlinn", "Berlin"),
+        ]
+
     def test_matches_sorted_by_distance(self, mistral_matcher):
         matches = mistral_matcher.match(["Berlin", "Toronto"], ["Berlinn", "Toronto"])
         distances = [match.distance for match in matches]
