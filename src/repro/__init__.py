@@ -15,19 +15,30 @@ Quickstart
 >>> result = integrate([t1, t2])          # fuzzy full disjunction
 >>> result.table.num_rows
 1
+
+For repeated requests (threshold sweeps, ablations, services), hold an
+:class:`IntegrationEngine` instead — it resolves the embedder, solver and FD
+algorithm once and keeps the embedding cache warm across calls:
+
+>>> engine = IntegrationEngine("paper")   # or a FuzzyFDConfig / dict
+>>> engine.integrate([t1, t2], threshold=0.8).table.num_rows
+1
 """
 
 from repro.core import (
     FuzzyFDConfig,
     FuzzyFullDisjunction,
     FuzzyIntegrationResult,
+    IntegrationEngine,
     RegularFullDisjunction,
     ValueMatcher,
+    available_presets,
     integrate,
 )
+from repro.registry import Registry, UnknownNameError
 from repro.table import Table, read_csv, write_csv
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -36,8 +47,12 @@ __all__ = [
     "write_csv",
     "integrate",
     "FuzzyFDConfig",
+    "available_presets",
     "FuzzyFullDisjunction",
     "RegularFullDisjunction",
     "FuzzyIntegrationResult",
+    "IntegrationEngine",
     "ValueMatcher",
+    "Registry",
+    "UnknownNameError",
 ]

@@ -5,6 +5,10 @@ Three subcommands expose the library to shell users:
 ``repro integrate``
     Integrate a set of CSV tables (files or a directory) into one table with
     the Fuzzy Full Disjunction (or, with ``--regular``, with plain ALITE).
+    The configuration comes from ``--preset {paper,fast,scale}`` or
+    ``--config-json PATH``, with explicitly passed flags overriding either;
+    all name-valued flags are validated against the plugin registries and
+    fail fast listing the valid names.
 
 ``repro match``
     Run the Match Values component over one column of each input CSV and
@@ -25,11 +29,48 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from repro.core import FuzzyFDConfig, integrate
+from repro.core import PRESETS, FuzzyFDConfig, IntegrationEngine, available_presets
 from repro.core.value_matching import ColumnValues, ValueMatcher
-from repro.embeddings.registry import available_embedders, get_embedder
+from repro.embeddings.registry import EMBEDDERS, get_embedder
+from repro.fd import FD_ALGORITHMS
+from repro.registry import Registry, UnknownNameError
+from repro.schema_matching.strategies import ALIGNMENT_STRATEGIES
 from repro.table import Table, read_csv, write_csv
 from repro.table.io import load_directory
+
+
+class _TrackedStore(argparse.Action):
+    """``store`` that also records the flag was explicitly passed.
+
+    Lets ``--preset``/``--config-json`` act as the base configuration while
+    *any* explicitly passed flag overrides it — even one set to its default
+    value — without disturbing the defaults visible in the parsed namespace.
+    """
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        setattr(namespace, self.dest, values)
+        explicit = getattr(namespace, "_explicit", None)
+        if explicit is None:
+            explicit = set()
+            setattr(namespace, "_explicit", explicit)
+        explicit.add(self.dest)
+
+
+def _registry_name(registry: Registry):
+    """An argparse ``type=`` validator that fails fast with the registry's names.
+
+    Unlike ``choices=``, the valid set is read from the registry at parse
+    time, so plugins registered after import are accepted.
+    """
+
+    def validate(value: str) -> str:
+        try:
+            return registry.validate(value)
+        except UnknownNameError as error:
+            raise argparse.ArgumentTypeError(str(error)) from None
+
+    validate.__name__ = registry.kind.replace(" ", "_")
+    return validate
 
 
 def _collect_tables(paths: Sequence[str]) -> List[Table]:
@@ -53,17 +94,36 @@ def _collect_tables(paths: Sequence[str]) -> List[Table]:
 # ---------------------------------------------------------------------------------
 
 
+#: ``integrate`` flags that map onto config knobs.  A flag overrides the
+#: preset / JSON configuration only when the user passed it explicitly
+#: (tracked by :class:`_TrackedStore`).
+_INTEGRATE_CONFIG_FLAGS = ("embedder", "threshold", "fd_algorithm", "alignment", "blocking")
+
+
+def _build_config(args: argparse.Namespace) -> FuzzyFDConfig:
+    """Resolve the effective config: preset / JSON base, then explicit flags."""
+    explicit = getattr(args, "_explicit", set())
+    try:
+        if getattr(args, "preset", None):
+            config = FuzzyFDConfig.preset(args.preset)
+        elif getattr(args, "config_json", None):
+            config = FuzzyFDConfig.from_json(args.config_json)
+        else:
+            config = FuzzyFDConfig()
+        overrides = {
+            knob: getattr(args, knob) for knob in _INTEGRATE_CONFIG_FLAGS if knob in explicit
+        }
+        return config.replace(**overrides) if overrides else config
+    except (ValueError, TypeError, OSError) as error:
+        raise SystemExit(f"error: {error}") from None
+
+
 def cmd_integrate(args: argparse.Namespace) -> int:
     """``repro integrate``: fuzzy (or regular) integration of CSV tables."""
     tables = _collect_tables(args.inputs)
-    config = FuzzyFDConfig(
-        embedder=args.embedder,
-        threshold=args.threshold,
-        fd_algorithm=args.fd_algorithm,
-        alignment=args.alignment,
-        blocking=args.blocking,
-    )
-    result = integrate(tables, fuzzy=not args.regular, config=config)
+    config = _build_config(args)
+    engine = IntegrationEngine(config)
+    result = engine.integrate(tables, fuzzy=not args.regular)
     mode = "regular FD" if args.regular else "fuzzy FD"
     print(
         f"integrated {len(tables)} tables "
@@ -162,17 +222,40 @@ def build_parser() -> argparse.ArgumentParser:
     integrate_parser.add_argument("inputs", nargs="+", help="CSV files or directories")
     integrate_parser.add_argument("--output", "-o", help="write the integrated table to this CSV")
     integrate_parser.add_argument("--regular", action="store_true", help="use equi-join FD (no fuzziness)")
-    integrate_parser.add_argument("--embedder", default="mistral", choices=available_embedders())
-    integrate_parser.add_argument("--threshold", type=float, default=0.7, help="matching threshold θ")
-    integrate_parser.add_argument(
-        "--fd-algorithm", default="alite",
-        choices=["alite", "incremental", "partitioned", "naive", "streaming"],
+    config_source = integrate_parser.add_mutually_exclusive_group()
+    config_source.add_argument(
+        "--preset",
+        type=_registry_name(PRESETS),
+        help=f"start from a named configuration preset ({', '.join(available_presets())}); "
+        "explicitly passed flags still override it",
     )
-    integrate_parser.add_argument("--alignment", default="by_name", choices=["by_name", "holistic"])
+    config_source.add_argument(
+        "--config-json",
+        metavar="PATH",
+        help="load the configuration from a JSON file (FuzzyFDConfig.from_json); "
+        "explicitly passed flags still override it",
+    )
+    integrate_parser.add_argument(
+        "--embedder", default="mistral", type=_registry_name(EMBEDDERS),
+        action=_TrackedStore, help="embedding model registry name",
+    )
+    integrate_parser.add_argument(
+        "--threshold", type=float, default=0.7, action=_TrackedStore,
+        help="matching threshold θ",
+    )
+    integrate_parser.add_argument(
+        "--fd-algorithm", default="alite", type=_registry_name(FD_ALGORITHMS),
+        action=_TrackedStore, help="full disjunction algorithm registry name",
+    )
+    integrate_parser.add_argument(
+        "--alignment", default="by_name", type=_registry_name(ALIGNMENT_STRATEGIES),
+        action=_TrackedStore, help="alignment strategy registry name",
+    )
     integrate_parser.add_argument(
         "--blocking",
         default="off",
         choices=["off", "on", "auto"],
+        action=_TrackedStore,
         help="route wide column pairs through the component-wise blocked matcher",
     )
     integrate_parser.add_argument("--max-rows", type=int, default=20, help="rows to print without --output")
@@ -182,7 +265,10 @@ def build_parser() -> argparse.ArgumentParser:
     match_parser = subparsers.add_parser("match", help="fuzzy value matching over aligned columns")
     match_parser.add_argument("inputs", nargs="+", help="CSV files or directories (one column each)")
     match_parser.add_argument("--column", default="value", help="column name to match (default: first column)")
-    match_parser.add_argument("--embedder", default="mistral", choices=available_embedders())
+    match_parser.add_argument(
+        "--embedder", default="mistral", type=_registry_name(EMBEDDERS),
+        help="embedding model registry name",
+    )
     match_parser.add_argument("--threshold", type=float, default=0.7)
     match_parser.add_argument(
         "--blocking",

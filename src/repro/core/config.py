@@ -1,16 +1,34 @@
-"""Configuration of the Fuzzy Full Disjunction pipeline."""
+"""Configuration of the Fuzzy Full Disjunction pipeline.
+
+Every name-valued knob (embedder, assignment solver, FD algorithm,
+representative policy, alignment strategy) is validated *eagerly* at
+construction against its plugin registry, so a typo fails immediately with
+the valid names listed instead of exploding deep inside the pipeline.
+
+Configurations serialise: :meth:`FuzzyFDConfig.to_dict` /
+:meth:`FuzzyFDConfig.from_dict` round-trip through plain dicts, and
+:meth:`FuzzyFDConfig.from_json` loads a JSON file or string.  Named presets
+(:data:`PRESETS`: ``"paper"``, ``"fast"``, ``"scale"``) capture the common
+operating points.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Union
+import dataclasses
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Union
 
+from repro.core.representatives import REPRESENTATIVE_POLICIES
 from repro.core.value_matching import DEFAULT_BLOCKING_CUTOFF
 from repro.embeddings.base import ValueEmbedder
-from repro.embeddings.registry import get_embedder
-from repro.fd import get_algorithm
+from repro.embeddings.registry import EMBEDDERS
+from repro.fd import FD_ALGORITHMS
 from repro.fd.base import FullDisjunctionAlgorithm
-from repro.matching.assignment import AssignmentSolver, get_assignment_solver
+from repro.matching.assignment import ASSIGNMENT_SOLVERS, AssignmentSolver
+from repro.registry import Registry
+from repro.schema_matching.strategies import ALIGNMENT_STRATEGIES
 
 
 @dataclass
@@ -47,9 +65,11 @@ class FuzzyFDConfig:
     blocking_cutoff:
         Cell count ``|left| × |right|`` at which ``"auto"`` engages blocking.
     alignment:
-        How columns are aligned when the caller does not pass an explicit
+        Alignment strategy used when the caller does not pass an explicit
         alignment: ``"by_name"`` groups equal headers (the Figure 1 setting),
-        ``"holistic"`` runs embedding-based holistic schema matching.
+        ``"holistic"`` runs embedding-based holistic schema matching; any
+        strategy registered in
+        :data:`~repro.schema_matching.strategies.ALIGNMENT_STRATEGIES` works.
     """
 
     embedder: Union[str, ValueEmbedder] = "mistral"
@@ -73,26 +93,116 @@ class FuzzyFDConfig:
             raise ValueError(
                 f"blocking_cutoff must be positive, got {self.blocking_cutoff}"
             )
-        if self.alignment not in ("by_name", "holistic"):
-            raise ValueError(
-                f"alignment must be 'by_name' or 'holistic', got {self.alignment!r}"
-            )
+        # Every registry-resolved knob is checked here, at construction, so an
+        # unknown name can never survive into the pipeline's hot path.
+        if isinstance(self.embedder, str):
+            EMBEDDERS.validate(self.embedder)
+        if isinstance(self.assignment_solver, str):
+            ASSIGNMENT_SOLVERS.validate(self.assignment_solver)
+        if isinstance(self.fd_algorithm, str):
+            FD_ALGORITHMS.validate(self.fd_algorithm)
+        REPRESENTATIVE_POLICIES.validate(self.representative_policy)
+        ALIGNMENT_STRATEGIES.validate(self.alignment)
 
     # -- resolution helpers -------------------------------------------------------
     def resolve_embedder(self) -> ValueEmbedder:
         """Return the embedder instance (instantiating registry names)."""
-        if isinstance(self.embedder, ValueEmbedder):
-            return self.embedder
-        return get_embedder(self.embedder)
+        return EMBEDDERS.resolve(self.embedder, ValueEmbedder)
 
     def resolve_solver(self) -> AssignmentSolver:
         """Return the assignment solver instance."""
-        if isinstance(self.assignment_solver, AssignmentSolver):
-            return self.assignment_solver
-        return get_assignment_solver(self.assignment_solver)
+        return ASSIGNMENT_SOLVERS.resolve(self.assignment_solver, AssignmentSolver)
 
     def resolve_fd_algorithm(self) -> FullDisjunctionAlgorithm:
         """Return the Full Disjunction algorithm instance."""
-        if isinstance(self.fd_algorithm, FullDisjunctionAlgorithm):
-            return self.fd_algorithm
-        return get_algorithm(self.fd_algorithm)
+        return FD_ALGORITHMS.resolve(self.fd_algorithm, FullDisjunctionAlgorithm)
+
+    # -- derived configurations ---------------------------------------------------
+    def replace(self, **overrides: Any) -> "FuzzyFDConfig":
+        """A copy of this configuration with ``overrides`` applied (re-validated)."""
+        return dataclasses.replace(self, **overrides)
+
+    # -- serialisation ------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form of the configuration.
+
+        Instance-valued knobs are serialised by their registry ``name``
+        attribute, so a config built from instances still produces a loadable
+        dict (the instance's constructor arguments are not preserved).
+        """
+        # Not dataclasses.asdict(): that deep-copies the field values, which
+        # for an instance-valued embedder would clone (or fail to pickle) the
+        # whole model and cache only to be thrown away.
+        data = {field.name: getattr(self, field.name) for field in dataclasses.fields(self)}
+        for knob in ("embedder", "assignment_solver", "fd_algorithm"):
+            if not isinstance(data[knob], str):
+                data[knob] = data[knob].name
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FuzzyFDConfig":
+        """Build (and validate) a configuration from :meth:`to_dict` output."""
+        field_names = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - field_names)
+        if unknown:
+            raise ValueError(
+                f"unknown configuration keys {unknown}; valid keys: {sorted(field_names)}"
+            )
+        return cls(**data)
+
+    @classmethod
+    def from_json(cls, source: Union[str, Path]) -> "FuzzyFDConfig":
+        """Load a configuration from a JSON file path or a JSON string.
+
+        A ``Path``, or a string that does not start with ``{``, is treated as
+        a file path (a missing file raises ``FileNotFoundError`` rather than
+        a confusing JSON parse error); a string starting with ``{`` is parsed
+        as JSON text directly.
+        """
+        text = str(source)
+        if isinstance(source, Path) or not text.lstrip().startswith("{"):
+            text = Path(text).read_text(encoding="utf-8")
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError(f"configuration JSON must be an object, got {type(data).__name__}")
+        return cls.from_dict(data)
+
+    def to_json(self) -> str:
+        """The configuration as a JSON string (inverse of :meth:`from_json`)."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    # -- presets ------------------------------------------------------------------
+    @classmethod
+    def preset(cls, name: str) -> "FuzzyFDConfig":
+        """Build one of the named presets (see :data:`PRESETS`).
+
+        >>> FuzzyFDConfig.preset("paper").threshold
+        0.7
+        """
+        return cls.from_dict(dict(PRESETS.get(name)))
+
+
+#: Named operating points.  ``"paper"`` is the paper's exact configuration;
+#: ``"fast"`` trades effectiveness for speed (cheap surface embedder, greedy
+#: assignment); ``"scale"`` keeps the paper's models but engages blocking and
+#: the partitioned FD substrate for wide data-lake inputs.
+PRESETS: Registry[Dict[str, Any]] = Registry(
+    "config preset",
+    {
+        "paper": {},
+        "fast": {
+            "embedder": "fasttext",
+            "assignment_solver": "greedy",
+            "blocking": "auto",
+        },
+        "scale": {
+            "blocking": "auto",
+            "fd_algorithm": "partitioned",
+        },
+    },
+)
+
+
+def available_presets() -> List[str]:
+    """Names of the registered configuration presets."""
+    return PRESETS.names()

@@ -11,171 +11,52 @@
 4. apply the (equi-join) Full Disjunction algorithm to the rewritten tables.
 
 ``RegularFullDisjunction`` is the ALITE baseline: the same pipeline without
-steps 3 — it only integrates tuples whose join values are exactly equal.
+step 3 — it only integrates tuples whose join values are exactly equal.
+
+Both operators are thin wrappers over a private
+:class:`~repro.core.engine.IntegrationEngine`, which is also the API to reach
+for directly when serving *repeated* requests (sweeps, ablations, services):
+the engine keeps the embedder and its cache warm across calls.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 from repro.core.config import FuzzyFDConfig
-from repro.core.value_matching import ColumnValues, ValueMatcher, ValueMatchingResult
-from repro.fd.base import FullDisjunctionResult
+from repro.core.engine import FuzzyIntegrationResult, IntegrationEngine
 from repro.schema_matching.alignment import ColumnAlignment
-from repro.schema_matching.holistic import HolisticSchemaMatcher
 from repro.table.table import Table
 
-
-@dataclass
-class FuzzyIntegrationResult:
-    """Everything the pipeline produced, with a per-phase timing breakdown."""
-
-    table: Table
-    fd_result: FullDisjunctionResult
-    alignment: ColumnAlignment
-    value_matching: Dict[str, ValueMatchingResult] = field(default_factory=dict)
-    rewritten_tables: List[Table] = field(default_factory=list)
-    timings: Dict[str, float] = field(default_factory=dict)
-
-    @property
-    def total_seconds(self) -> float:
-        """Total wall-clock time of the integration.
-
-        ``timings`` also carries work counters (the ``blocking_*`` keys);
-        only the ``*_seconds`` entries are durations.
-        """
-        return sum(value for key, value in self.timings.items() if key.endswith("_seconds"))
-
-    @property
-    def output_tuple_count(self) -> int:
-        """Number of tuples in the integrated table."""
-        return self.table.num_rows
-
-    def rewrites_applied(self) -> int:
-        """Number of distinct value rewrites applied across all columns."""
-        total = 0
-        for group_name, result in self.value_matching.items():
-            for column_id in result.column_order:
-                total += len(result.rewrite_map(column_id))
-        return total
+__all__ = [
+    "FuzzyFullDisjunction",
+    "RegularFullDisjunction",
+    "FuzzyIntegrationResult",
+]
 
 
 class FuzzyFullDisjunction:
     """The paper's operator: value matching + equi-join Full Disjunction."""
 
     def __init__(self, config: Optional[FuzzyFDConfig] = None) -> None:
-        self.config = config if config is not None else FuzzyFDConfig()
-        self._embedder = self.config.resolve_embedder()
-        self._solver = self.config.resolve_solver()
-        self._fd = self.config.resolve_fd_algorithm()
-        self._value_matcher = ValueMatcher(
-            embedder=self._embedder,
-            threshold=self.config.threshold,
-            solver=self._solver,
-            representative_policy=self.config.representative_policy,
-            exact_first=self.config.exact_first,
-            blocking=self.config.blocking,
-            blocking_cutoff=self.config.blocking_cutoff,
-        )
+        self.engine = IntegrationEngine(config)
+        self.config = self.engine.config
 
-    # -- public API -----------------------------------------------------------------
     def integrate(
         self,
         tables: Sequence[Table],
         alignment: Optional[ColumnAlignment] = None,
     ) -> FuzzyIntegrationResult:
         """Integrate ``tables`` with fuzzy value matching."""
-        if not tables:
-            raise ValueError("integrate() requires at least one table")
-        timings: Dict[str, float] = {}
-
-        start = time.perf_counter()
-        alignment = alignment if alignment is not None else self._align(tables)
-        aligned_tables = alignment.apply(tables)
-        timings["alignment_seconds"] = time.perf_counter() - start
-
-        start = time.perf_counter()
-        value_matching, rewritten = self._match_and_rewrite(aligned_tables, alignment)
-        timings["value_matching_seconds"] = time.perf_counter() - start
-        if self.config.blocking != "off":
-            # Aggregate the per-group blocking counters next to the phase
-            # timings so callers see how much pairwise work blocking saved.
-            for key in ("blocking_pairs_scored", "blocking_pairs_avoided"):
-                timings[key] = sum(
-                    result.statistics.get(key, 0.0) for result in value_matching.values()
-                )
-            timings["blocking_largest_component"] = max(
-                (
-                    result.statistics.get("blocking_largest_component", 0.0)
-                    for result in value_matching.values()
-                ),
-                default=0.0,
-            )
-
-        start = time.perf_counter()
-        fd_result = self._fd.integrate(rewritten)
-        timings["full_disjunction_seconds"] = time.perf_counter() - start
-
-        return FuzzyIntegrationResult(
-            table=fd_result.table,
-            fd_result=fd_result,
-            alignment=alignment,
-            value_matching=value_matching,
-            rewritten_tables=rewritten,
-            timings=timings,
-        )
-
-    # -- pipeline phases ---------------------------------------------------------------
-    def _align(self, tables: Sequence[Table]) -> ColumnAlignment:
-        if self.config.alignment == "holistic":
-            return HolisticSchemaMatcher(embedder=self._embedder).align(tables)
-        return ColumnAlignment.from_named_columns(tables)
-
-    def _match_and_rewrite(
-        self, aligned_tables: Sequence[Table], alignment: ColumnAlignment
-    ) -> Tuple[Dict[str, ValueMatchingResult], List[Table]]:
-        """Run Match Values per multi-table aligned group and rewrite the tables."""
-        rewritten = {table.name: table for table in aligned_tables}
-        results: Dict[str, ValueMatchingResult] = {}
-
-        for group in alignment.multi_table_groups():
-            columns: List[ColumnValues] = []
-            for member in group.members:
-                table = rewritten[member.table]
-                # After alignment.apply() the column carries the group name.
-                values = table.distinct_values(group.name)
-                counts = {}
-                for value in table.column_values(group.name, dropna=True):
-                    counts[value] = counts.get(value, 0) + 1
-                if values:
-                    columns.append(
-                        ColumnValues(
-                            column_id=(member.table, group.name), values=values, counts=counts
-                        )
-                    )
-            if len(columns) < 2:
-                continue
-            result = self._value_matcher.match_columns(columns)
-            results[group.name] = result
-            for member in group.members:
-                table = rewritten[member.table]
-                mapping = result.rewrite_map((member.table, group.name))
-                if mapping:
-                    rewritten[member.table] = table.replace_values(group.name, mapping)
-
-        ordered = [rewritten[table.name] for table in aligned_tables]
-        return results, ordered
+        return self.engine.integrate(tables, alignment=alignment, fuzzy=True)
 
 
 class RegularFullDisjunction:
     """The equi-join baseline (ALITE): alignment + Full Disjunction, no fuzziness."""
 
     def __init__(self, config: Optional[FuzzyFDConfig] = None) -> None:
-        self.config = config if config is not None else FuzzyFDConfig()
-        self._embedder = self.config.resolve_embedder()
-        self._fd = self.config.resolve_fd_algorithm()
+        self.engine = IntegrationEngine(config)
+        self.config = self.engine.config
 
     def integrate(
         self,
@@ -183,28 +64,4 @@ class RegularFullDisjunction:
         alignment: Optional[ColumnAlignment] = None,
     ) -> FuzzyIntegrationResult:
         """Integrate ``tables`` on exact value equality only."""
-        if not tables:
-            raise ValueError("integrate() requires at least one table")
-        timings: Dict[str, float] = {}
-
-        start = time.perf_counter()
-        if alignment is None:
-            if self.config.alignment == "holistic":
-                alignment = HolisticSchemaMatcher(embedder=self._embedder).align(tables)
-            else:
-                alignment = ColumnAlignment.from_named_columns(tables)
-        aligned_tables = alignment.apply(tables)
-        timings["alignment_seconds"] = time.perf_counter() - start
-
-        start = time.perf_counter()
-        fd_result = self._fd.integrate(aligned_tables)
-        timings["full_disjunction_seconds"] = time.perf_counter() - start
-
-        return FuzzyIntegrationResult(
-            table=fd_result.table,
-            fd_result=fd_result,
-            alignment=alignment,
-            value_matching={},
-            rewritten_tables=list(aligned_tables),
-            timings=timings,
-        )
+        return self.engine.integrate(tables, alignment=alignment, fuzzy=False)

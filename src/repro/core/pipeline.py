@@ -2,8 +2,10 @@
 
 ``integrate(tables)`` is the function a downstream user reaches for first: it
 builds the default configuration (Mistral embedder, θ = 0.7, scipy assignment,
-ALITE Full Disjunction, header-based alignment) and runs either the fuzzy or
-the regular pipeline.
+ALITE Full Disjunction, header-based alignment), spins up a one-shot
+:class:`~repro.core.engine.IntegrationEngine`, and runs either the fuzzy or
+the regular pipeline.  Callers integrating *repeatedly* (sweeps, services)
+should hold an engine instead — it keeps the embedding cache warm.
 """
 
 from __future__ import annotations
@@ -11,7 +13,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.core.config import FuzzyFDConfig
-from repro.core.fuzzy_fd import FuzzyFullDisjunction, FuzzyIntegrationResult, RegularFullDisjunction
+from repro.core.engine import FuzzyIntegrationResult, IntegrationEngine
 from repro.schema_matching.alignment import ColumnAlignment
 from repro.table.table import Table
 
@@ -54,8 +56,5 @@ def integrate(
     ['Cases', 'City', 'Country']
     """
     config = config if config is not None else FuzzyFDConfig()
-    if fuzzy:
-        operator = FuzzyFullDisjunction(config)
-    else:
-        operator = RegularFullDisjunction(config)
-    return operator.integrate(tables, alignment=alignment)
+    engine = IntegrationEngine(config)
+    return engine.integrate(tables, alignment=alignment, fuzzy=fuzzy)

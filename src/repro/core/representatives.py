@@ -10,7 +10,9 @@ ablation benchmark.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, List, Mapping, Sequence, Tuple
+from typing import Callable, Hashable, List, Mapping, Sequence, Tuple
+
+from repro.registry import Registry
 
 ValueKey = Tuple[Hashable, object]
 # A policy receives the members of one match set, the global frequency of each
@@ -18,7 +20,13 @@ ValueKey = Tuple[Hashable, object]
 # column, and returns the representative surface value.
 Policy = Callable[[Sequence[ValueKey], Mapping[object, int], Mapping[Hashable, int]], object]
 
+#: All representative policies, keyed by registry name.  Policies are plain
+#: functions, so they are fetched with ``REPRESENTATIVE_POLICIES.get`` (not
+#: ``create``); custom policies plug in with the ``register`` decorator.
+REPRESENTATIVE_POLICIES: Registry[Policy] = Registry("representative policy")
 
+
+@REPRESENTATIVE_POLICIES.register("frequency")
 def _frequency_policy(
     members: Sequence[ValueKey],
     frequencies: Mapping[object, int],
@@ -36,6 +44,7 @@ def _frequency_policy(
     return min(members, key=sort_key)[1]
 
 
+@REPRESENTATIVE_POLICIES.register("first_column")
 def _first_column_policy(
     members: Sequence[ValueKey],
     frequencies: Mapping[object, int],
@@ -49,6 +58,7 @@ def _first_column_policy(
     return min(members, key=sort_key)[1]
 
 
+@REPRESENTATIVE_POLICIES.register("longest")
 def _longest_policy(
     members: Sequence[ValueKey],
     frequencies: Mapping[object, int],
@@ -58,6 +68,7 @@ def _longest_policy(
     return min(members, key=lambda member: (-len(str(member[1])), str(member[1])))[1]
 
 
+@REPRESENTATIVE_POLICIES.register("shortest")
 def _shortest_policy(
     members: Sequence[ValueKey],
     frequencies: Mapping[object, int],
@@ -67,17 +78,9 @@ def _shortest_policy(
     return min(members, key=lambda member: (len(str(member[1])), str(member[1])))[1]
 
 
-_POLICIES: Dict[str, Policy] = {
-    "frequency": _frequency_policy,
-    "first_column": _first_column_policy,
-    "longest": _longest_policy,
-    "shortest": _shortest_policy,
-}
-
-
 def available_policies() -> List[str]:
     """Names of the registered representative policies."""
-    return sorted(_POLICIES)
+    return REPRESENTATIVE_POLICIES.names()
 
 
 def select_representative(
@@ -89,10 +92,5 @@ def select_representative(
     """Choose the representative value of one match set under ``policy``."""
     if not members:
         raise ValueError("cannot select a representative from an empty match set")
-    try:
-        chosen_policy = _POLICIES[policy]
-    except KeyError:
-        raise ValueError(
-            f"unknown representative policy {policy!r}; available: {available_policies()}"
-        ) from None
+    chosen_policy = REPRESENTATIVE_POLICIES.get(policy)
     return chosen_policy(members, frequencies, column_order)

@@ -23,7 +23,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
-from repro.core.representatives import select_representative
+from repro.core.representatives import REPRESENTATIVE_POLICIES, select_representative
 from repro.embeddings.base import ValueEmbedder
 from repro.matching.assignment import AssignmentSolver
 from repro.matching.bipartite import BipartiteValueMatcher, ValueMatch
@@ -147,6 +147,9 @@ class ValueMatcher:
             raise ValueError(f"blocking must be 'off', 'on' or 'auto', got {blocking!r}")
         if blocking_cutoff <= 0:
             raise ValueError(f"blocking_cutoff must be positive, got {blocking_cutoff}")
+        # Fail fast on a typo'd policy name here rather than deep inside
+        # match_columns() on the first accepted match.
+        REPRESENTATIVE_POLICIES.validate(representative_policy)
         self.embedder = embedder
         self.threshold = threshold
         self.representative_policy = representative_policy

@@ -25,7 +25,12 @@ from repro.embeddings.transformer import (
     RobertaEmbedder,
     SimulatedTransformerEmbedder,
 )
-from repro.embeddings.registry import available_embedders, get_embedder
+from repro.embeddings.registry import (
+    EMBEDDERS,
+    available_embedders,
+    get_embedder,
+    register_embedder,
+)
 
 __all__ = [
     "ValueEmbedder",
@@ -40,6 +45,8 @@ __all__ = [
     "SimulatedTransformerEmbedder",
     "SemanticLexicon",
     "default_lexicon",
+    "EMBEDDERS",
     "get_embedder",
     "available_embedders",
+    "register_embedder",
 ]

@@ -25,6 +25,11 @@ class ValueEmbedder(abc.ABC):
         self._cache = cache if cache is not None else EmbeddingCache()
 
     # -- public API -----------------------------------------------------------------
+    @property
+    def cache(self) -> "EmbeddingCache":
+        """The embedding cache (long-lived engines read its hit/miss stats)."""
+        return self._cache
+
     def embed(self, value: object) -> np.ndarray:
         """Return the unit-norm embedding of one cell value."""
         text = "" if value is None else str(value)

@@ -27,6 +27,7 @@ from repro.fd.alite import AliteFullDisjunction
 from repro.fd.incremental import IncrementalFullDisjunction
 from repro.fd.parallel import PartitionedFullDisjunction
 from repro.fd.iterator import StreamingFullDisjunction
+from repro.registry import Registry
 
 __all__ = [
     "FullDisjunctionAlgorithm",
@@ -37,24 +38,29 @@ __all__ = [
     "IncrementalFullDisjunction",
     "PartitionedFullDisjunction",
     "StreamingFullDisjunction",
+    "FD_ALGORITHMS",
     "get_algorithm",
     "available_algorithms",
 ]
 
 
-_ALGORITHMS = {
-    "naive": NaiveFullDisjunction,
-    "outer_join_sequence": OuterJoinSequence,
-    "alite": AliteFullDisjunction,
-    "incremental": IncrementalFullDisjunction,
-    "partitioned": PartitionedFullDisjunction,
-    "streaming": StreamingFullDisjunction,
-}
+#: All Full Disjunction algorithms, keyed by registry name.
+FD_ALGORITHMS = Registry(
+    "full disjunction algorithm",
+    {
+        "naive": NaiveFullDisjunction,
+        "outer_join_sequence": OuterJoinSequence,
+        "alite": AliteFullDisjunction,
+        "incremental": IncrementalFullDisjunction,
+        "partitioned": PartitionedFullDisjunction,
+        "streaming": StreamingFullDisjunction,
+    },
+)
 
 
 def available_algorithms() -> list:
     """Names of the registered Full Disjunction algorithms."""
-    return sorted(_ALGORITHMS)
+    return FD_ALGORITHMS.names()
 
 
 def get_algorithm(name: str, **kwargs) -> FullDisjunctionAlgorithm:
@@ -63,10 +69,4 @@ def get_algorithm(name: str, **kwargs) -> FullDisjunctionAlgorithm:
     >>> get_algorithm("alite").name
     'alite'
     """
-    try:
-        factory = _ALGORITHMS[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown full disjunction algorithm {name!r}; available: {available_algorithms()}"
-        ) from None
-    return factory(**kwargs)
+    return FD_ALGORITHMS.create(name, **kwargs)

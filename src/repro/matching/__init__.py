@@ -9,10 +9,12 @@ bookkeeping that accumulates pairwise matches into disjoint value-match sets.
 """
 
 from repro.matching.assignment import (
+    ASSIGNMENT_SOLVERS,
     AssignmentSolver,
     GreedyAssignment,
     HungarianAssignment,
     ScipyAssignment,
+    available_solvers,
     get_assignment_solver,
 )
 from repro.matching.bipartite import BipartiteValueMatcher, ValueMatch, split_exact_matches
@@ -41,6 +43,8 @@ __all__ = [
     "ScipyAssignment",
     "HungarianAssignment",
     "GreedyAssignment",
+    "ASSIGNMENT_SOLVERS",
+    "available_solvers",
     "get_assignment_solver",
     "BipartiteValueMatcher",
     "split_exact_matches",

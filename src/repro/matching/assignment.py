@@ -19,6 +19,8 @@ from typing import List, Tuple
 
 import numpy as np
 
+from repro.registry import Registry
+
 
 Assignment = List[Tuple[int, int]]
 
@@ -170,23 +172,22 @@ class GreedyAssignment(AssignmentSolver):
         return sorted(pairs)
 
 
-_SOLVERS = {
-    "scipy": ScipyAssignment,
-    "hungarian": HungarianAssignment,
-    "greedy": GreedyAssignment,
-}
+#: All assignment solvers, keyed by registry name.
+ASSIGNMENT_SOLVERS = Registry(
+    "assignment solver",
+    {
+        "scipy": ScipyAssignment,
+        "hungarian": HungarianAssignment,
+        "greedy": GreedyAssignment,
+    },
+)
 
 
 def available_solvers() -> List[str]:
     """Names of the registered assignment solvers."""
-    return sorted(_SOLVERS)
+    return ASSIGNMENT_SOLVERS.names()
 
 
 def get_assignment_solver(name: str) -> AssignmentSolver:
     """Instantiate an assignment solver by name."""
-    try:
-        return _SOLVERS[name]()
-    except KeyError:
-        raise ValueError(
-            f"unknown assignment solver {name!r}; available: {available_solvers()}"
-        ) from None
+    return ASSIGNMENT_SOLVERS.create(name)

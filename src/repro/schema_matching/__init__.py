@@ -12,6 +12,7 @@ from repro.schema_matching.alignment import AlignedColumn, ColumnAlignment, Colu
 from repro.schema_matching.column_features import ColumnSignature, column_signature
 from repro.schema_matching.header import HeaderSchemaMatcher
 from repro.schema_matching.holistic import HolisticSchemaMatcher
+from repro.schema_matching.strategies import ALIGNMENT_STRATEGIES, available_strategies
 
 __all__ = [
     "ColumnRef",
@@ -21,4 +22,6 @@ __all__ = [
     "column_signature",
     "HeaderSchemaMatcher",
     "HolisticSchemaMatcher",
+    "ALIGNMENT_STRATEGIES",
+    "available_strategies",
 ]

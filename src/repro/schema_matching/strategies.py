@@ -1,0 +1,65 @@
+"""Alignment strategies as a plugin registry.
+
+Historically the pipeline validated the ``alignment`` knob against the bare
+string literals ``"by_name"`` / ``"holistic"`` and branched on them by hand
+inside the operators.  ``ALIGNMENT_STRATEGIES`` turns the knob into the same
+registry mechanism as every other extension point: a strategy is a callable
+``(tables, embedder=None) -> ColumnAlignment``, and custom strategies plug in
+with ``@ALIGNMENT_STRATEGIES.register("name")``.
+
+Built-in strategies:
+
+* ``"by_name"`` — group columns with identical headers (the Figure 1 setting).
+* ``"header"`` — group columns whose *normalised* headers are equal
+  (:class:`~repro.schema_matching.header.HeaderSchemaMatcher`).
+* ``"holistic"`` — embedding-based holistic schema matching
+  (:class:`~repro.schema_matching.holistic.HolisticSchemaMatcher`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.embeddings.base import ValueEmbedder
+from repro.registry import Registry
+from repro.schema_matching.alignment import ColumnAlignment
+from repro.schema_matching.header import HeaderSchemaMatcher
+from repro.schema_matching.holistic import HolisticSchemaMatcher
+from repro.table.table import Table
+
+#: A strategy aligns the columns of ``tables``; ``embedder`` is the pipeline's
+#: warm embedder, which content-based strategies may use (or ignore).
+AlignmentStrategy = Callable[..., ColumnAlignment]
+
+#: All alignment strategies, keyed by registry name.  Strategies are callables
+#: fetched with ``ALIGNMENT_STRATEGIES.get`` (not ``create``).
+ALIGNMENT_STRATEGIES: Registry[AlignmentStrategy] = Registry("alignment strategy")
+
+
+@ALIGNMENT_STRATEGIES.register("by_name")
+def align_by_name(
+    tables: Sequence[Table], embedder: Optional[ValueEmbedder] = None
+) -> ColumnAlignment:
+    """Group columns with identical headers (the paper's Figure 1 setting)."""
+    return ColumnAlignment.from_named_columns(tables)
+
+
+@ALIGNMENT_STRATEGIES.register("header")
+def align_by_normalized_header(
+    tables: Sequence[Table], embedder: Optional[ValueEmbedder] = None
+) -> ColumnAlignment:
+    """Group columns whose normalised headers are equal."""
+    return HeaderSchemaMatcher().align(tables)
+
+
+@ALIGNMENT_STRATEGIES.register("holistic")
+def align_holistic(
+    tables: Sequence[Table], embedder: Optional[ValueEmbedder] = None
+) -> ColumnAlignment:
+    """Embedding-based holistic schema matching (the ALITE setting)."""
+    return HolisticSchemaMatcher(embedder=embedder).align(tables)
+
+
+def available_strategies() -> List[str]:
+    """Names of the registered alignment strategies."""
+    return ALIGNMENT_STRATEGIES.names()

@@ -65,6 +65,92 @@ class TestIntegrateCommand:
             main(["integrate", str(bogus)])
 
 
+class TestConfigFlags:
+    def test_preset_runs(self, lake, capsys):
+        _, paths = lake
+        exit_code = main(["integrate", *paths, "--preset", "fast"])
+        assert exit_code == 0
+        assert "output tuples" in capsys.readouterr().out
+
+    def test_unknown_preset_lists_names(self, lake, capsys):
+        _, paths = lake
+        with pytest.raises(SystemExit):
+            main(["integrate", *paths, "--preset", "turbo"])
+        captured = capsys.readouterr().err
+        assert "paper" in captured and "fast" in captured and "scale" in captured
+
+    def test_config_json_is_loaded(self, lake, tmp_path, capsys):
+        _, paths = lake
+        config_path = tmp_path / "config.json"
+        config_path.write_text('{"embedder": "fasttext", "threshold": 0.6}')
+        exit_code = main(["integrate", *paths, "--config-json", str(config_path)])
+        assert exit_code == 0
+        assert "output tuples" in capsys.readouterr().out
+
+    def test_config_json_with_bad_knob_fails_fast(self, lake, tmp_path):
+        _, paths = lake
+        config_path = tmp_path / "config.json"
+        config_path.write_text('{"embedder": "gpt-17"}')
+        with pytest.raises(SystemExit):
+            main(["integrate", *paths, "--config-json", str(config_path)])
+
+    def test_explicit_flag_overrides_preset(self, lake, capsys):
+        _, paths = lake
+        # Explicit flags beat the preset even when set to their parser default:
+        # overriding the fast preset's fasttext/greedy knobs back to mistral
+        # with no blocking must reproduce the paper's 5-tuple Figure 1 result.
+        exit_code = main(["integrate", *paths, "--preset", "fast", "--embedder", "mistral",
+                          "--blocking", "off"])
+        assert exit_code == 0
+        assert "5 output tuples" in capsys.readouterr().out
+
+    def test_explicit_default_valued_flag_overrides_config_json(self, lake, tmp_path, capsys):
+        _, paths = lake
+        config_path = tmp_path / "config.json"
+        config_path.write_text('{"embedder": "exact", "threshold": 0.05}')
+        # 'exact' at θ=0.05 finds no fuzzy matches; explicitly restoring the
+        # defaults must bring the Figure 1 rewrites back.
+        exit_code = main(["integrate", *paths, "--config-json", str(config_path),
+                          "--embedder", "mistral", "--threshold", "0.7"])
+        assert exit_code == 0
+        assert "5 output tuples" in capsys.readouterr().out
+
+    def test_config_json_missing_file_fails_cleanly(self, lake, capsys):
+        _, paths = lake
+        with pytest.raises(SystemExit):
+            main(["integrate", *paths, "--config-json", "no-such-confg.jsn"])
+
+    def test_config_json_wrong_typed_knob_fails_cleanly(self, lake, tmp_path):
+        _, paths = lake
+        config_path = tmp_path / "config.json"
+        config_path.write_text('{"threshold": "0.8"}')
+        with pytest.raises(SystemExit):
+            main(["integrate", *paths, "--config-json", str(config_path)])
+
+    def test_preset_and_config_json_are_mutually_exclusive(self, lake, tmp_path, capsys):
+        _, paths = lake
+        config_path = tmp_path / "config.json"
+        config_path.write_text("{}")
+        with pytest.raises(SystemExit):
+            main(["integrate", *paths, "--preset", "fast", "--config-json", str(config_path)])
+
+    def test_unknown_embedder_fails_with_registry_names(self, lake, capsys):
+        _, paths = lake
+        with pytest.raises(SystemExit):
+            main(["integrate", *paths, "--embedder", "gpt-17"])
+        captured = capsys.readouterr().err
+        assert "unknown embedding model 'gpt-17'" in captured
+        assert "mistral" in captured
+
+    def test_unknown_fd_algorithm_fails_with_registry_names(self, lake, capsys):
+        _, paths = lake
+        with pytest.raises(SystemExit):
+            main(["integrate", *paths, "--fd-algorithm", "quantum"])
+        captured = capsys.readouterr().err
+        assert "unknown full disjunction algorithm 'quantum'" in captured
+        assert "alite" in captured
+
+
 class TestMatchCommand:
     def test_match_two_columns(self, tmp_path, capsys):
         left = Table("countries_a", ["value"], [("Germany",), ("Canada",), ("Spain",)])

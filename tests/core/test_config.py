@@ -1,0 +1,154 @@
+"""Tests for config serialisation, presets, and eager knob validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import FuzzyFDConfig, available_presets
+from repro.embeddings import ExactEmbedder
+from repro.fd import AliteFullDisjunction
+from repro.matching.assignment import HungarianAssignment
+
+
+class TestEagerValidation:
+    """Every registry-resolved knob fails at construction, not at run time."""
+
+    def test_unknown_embedder(self):
+        with pytest.raises(ValueError) as excinfo:
+            FuzzyFDConfig(embedder="gpt-17")
+        assert "mistral" in str(excinfo.value)
+
+    def test_unknown_solver(self):
+        with pytest.raises(ValueError) as excinfo:
+            FuzzyFDConfig(assignment_solver="magic")
+        assert "scipy" in str(excinfo.value)
+
+    def test_unknown_fd_algorithm(self):
+        with pytest.raises(ValueError) as excinfo:
+            FuzzyFDConfig(fd_algorithm="quantum")
+        assert "alite" in str(excinfo.value)
+
+    def test_unknown_representative_policy_lists_valid_names(self):
+        with pytest.raises(ValueError) as excinfo:
+            FuzzyFDConfig(representative_policy="freq")
+        message = str(excinfo.value)
+        assert "frequency" in message and "longest" in message
+
+    def test_unknown_alignment_strategy(self):
+        with pytest.raises(ValueError) as excinfo:
+            FuzzyFDConfig(alignment="guess")
+        assert "by_name" in str(excinfo.value)
+
+    def test_replace_revalidates(self):
+        config = FuzzyFDConfig()
+        with pytest.raises(ValueError):
+            config.replace(representative_policy="nope")
+        assert config.replace(threshold=0.8).threshold == 0.8
+        # the original is untouched
+        assert config.threshold == 0.7
+
+
+class TestSerialisation:
+    def test_round_trip_equality(self):
+        config = FuzzyFDConfig(
+            embedder="fasttext",
+            threshold=0.65,
+            assignment_solver="greedy",
+            fd_algorithm="incremental",
+            representative_policy="longest",
+            exact_first=False,
+            blocking="auto",
+            blocking_cutoff=1000,
+            alignment="holistic",
+        )
+        assert FuzzyFDConfig.from_dict(config.to_dict()) == config
+
+    def test_default_round_trip(self):
+        config = FuzzyFDConfig()
+        assert FuzzyFDConfig.from_dict(config.to_dict()) == config
+
+    def test_to_dict_serialises_instances_by_name(self):
+        config = FuzzyFDConfig(
+            embedder=ExactEmbedder(),
+            assignment_solver=HungarianAssignment(),
+            fd_algorithm=AliteFullDisjunction(),
+        )
+        data = config.to_dict()
+        assert data["embedder"] == "exact"
+        assert data["assignment_solver"] == "hungarian"
+        assert data["fd_algorithm"] == "alite"
+        # and the serialised form loads back into a valid (name-based) config
+        loaded = FuzzyFDConfig.from_dict(data)
+        assert loaded.resolve_embedder().name == "exact"
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError) as excinfo:
+            FuzzyFDConfig.from_dict({"treshold": 0.8})
+        assert "treshold" in str(excinfo.value)
+        assert "threshold" in str(excinfo.value)
+
+    def test_from_json_file(self, tmp_path):
+        path = tmp_path / "config.json"
+        path.write_text(json.dumps({"embedder": "fasttext", "threshold": 0.9}))
+        config = FuzzyFDConfig.from_json(path)
+        assert config.embedder == "fasttext"
+        assert config.threshold == 0.9
+        # unspecified knobs keep the paper defaults
+        assert config.fd_algorithm == "alite"
+
+    def test_from_json_string(self):
+        config = FuzzyFDConfig.from_json('{"blocking": "auto"}')
+        assert config.blocking == "auto"
+
+    def test_to_dict_does_not_deep_copy_instances(self):
+        import threading
+
+        embedder = ExactEmbedder()
+        embedder.lock = threading.Lock()  # unpicklable, like a real model client
+        assert FuzzyFDConfig(embedder=embedder).to_dict()["embedder"] == "exact"
+
+    def test_from_json_missing_file_raises_file_not_found(self):
+        with pytest.raises(FileNotFoundError):
+            FuzzyFDConfig.from_json("no-such-confg.jsn")
+
+    def test_from_json_validates(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"embedder": "gpt-17"}))
+        with pytest.raises(ValueError):
+            FuzzyFDConfig.from_json(path)
+        non_object = tmp_path / "list.json"
+        non_object.write_text("[1, 2]")
+        with pytest.raises(ValueError):
+            FuzzyFDConfig.from_json(non_object)
+
+    def test_to_json_round_trip(self):
+        config = FuzzyFDConfig(threshold=0.75, blocking="on")
+        assert FuzzyFDConfig.from_json(config.to_json()) == config
+
+
+class TestPresets:
+    def test_available_presets(self):
+        assert {"paper", "fast", "scale"} <= set(available_presets())
+
+    def test_paper_preset_is_the_default_config(self):
+        assert FuzzyFDConfig.preset("paper") == FuzzyFDConfig()
+
+    def test_fast_preset(self):
+        config = FuzzyFDConfig.preset("fast")
+        assert config.embedder == "fasttext"
+        assert config.assignment_solver == "greedy"
+        assert config.blocking == "auto"
+
+    def test_scale_preset(self):
+        config = FuzzyFDConfig.preset("scale")
+        assert config.fd_algorithm == "partitioned"
+        assert config.blocking == "auto"
+        # the paper's models are kept
+        assert config.embedder == "mistral"
+
+    def test_unknown_preset_lists_names(self):
+        with pytest.raises(ValueError) as excinfo:
+            FuzzyFDConfig.preset("turbo")
+        assert "paper" in str(excinfo.value)

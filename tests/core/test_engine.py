@@ -1,0 +1,186 @@
+"""Tests for the long-lived IntegrationEngine: stages, overrides, warm cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    AlignmentStage,
+    FuzzyFDConfig,
+    FuzzyFullDisjunction,
+    IntegrationEngine,
+    MatchStage,
+    integrate,
+)
+from repro.embeddings.llm import MistralEmbedder
+from repro.table import Table
+
+
+class CountingMistralEmbedder(MistralEmbedder):
+    """Mistral simulator that counts raw (cache-missing) embedding calls."""
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.embed_calls = 0
+
+    def _embed_text(self, text):
+        self.embed_calls += 1
+        return super()._embed_text(text)
+
+
+class TestEngineConstruction:
+    def test_accepts_config_preset_name_dict_or_none(self):
+        assert IntegrationEngine().config == FuzzyFDConfig()
+        assert IntegrationEngine("fast").config.embedder == "fasttext"
+        assert IntegrationEngine({"threshold": 0.8}).config.threshold == 0.8
+        config = FuzzyFDConfig(threshold=0.9)
+        assert IntegrationEngine(config).config is config
+
+    def test_unknown_preset_fails_fast(self):
+        with pytest.raises(ValueError):
+            IntegrationEngine("warp-speed")
+
+    def test_components_resolved_once(self):
+        engine = IntegrationEngine()
+        assert engine.embedder is engine.embedder
+        assert engine.embedder.name == "mistral"
+        assert engine.solver.name == "scipy"
+        assert engine.fd_algorithm.name == "alite"
+
+
+class TestStages:
+    def test_align_match_integrate_chain(self, covid_tables):
+        engine = IntegrationEngine()
+        aligned = engine.align(covid_tables)
+        assert isinstance(aligned, AlignmentStage)
+        assert "alignment_seconds" in aligned.timings
+        assert {group.name for group in aligned.alignment} >= {"City", "Country"}
+
+        matched = engine.match(aligned)
+        assert isinstance(matched, MatchStage)
+        assert set(matched.value_matching) == {"City", "Country"}
+        assert matched.rewrites_applied() >= 4
+
+        result = engine.integrate(matched)
+        assert result.table.num_rows == 5  # the paper's Figure 1 outcome
+        assert set(result.timings) >= {
+            "alignment_seconds",
+            "value_matching_seconds",
+            "full_disjunction_seconds",
+        }
+
+    def test_staged_equals_one_call(self, covid_tables):
+        engine = IntegrationEngine()
+        staged = engine.integrate(engine.match(engine.align(covid_tables)))
+        one_call = engine.integrate(covid_tables)
+        assert staged.table.same_rows(one_call.table)
+
+    def test_match_with_explicit_tables_needs_alignment(self, covid_tables):
+        engine = IntegrationEngine()
+        with pytest.raises(ValueError):
+            engine.match(covid_tables)
+
+    def test_align_requires_tables(self):
+        engine = IntegrationEngine()
+        with pytest.raises(ValueError):
+            engine.align([])
+        with pytest.raises(ValueError):
+            engine.integrate([])
+
+    def test_align_strategy_override(self, covid_tables):
+        engine = IntegrationEngine()
+        renamed = [covid_tables[0].rename({"City": "Municipality"})] + covid_tables[1:]
+        by_name = engine.align(renamed)  # Municipality stays its own group
+        holistic = engine.align(renamed, strategy="holistic")
+        assert len(holistic.alignment) < len(by_name.alignment)
+
+
+class TestPerRequestOverrides:
+    def test_threshold_override_does_not_mutate_engine(self, covid_tables):
+        engine = IntegrationEngine()
+        engine.integrate(covid_tables, threshold=0.95)
+        assert engine.config.threshold == 0.7
+
+    def test_threshold_override_changes_matching(self, covid_tables):
+        # θ is a distance threshold: pairs at distance ≥ θ are discarded, so a
+        # *smaller* θ is stricter and accepts fewer fuzzy matches.
+        engine = IntegrationEngine()
+        loose = engine.integrate(covid_tables, threshold=0.7)
+        strict = engine.integrate(covid_tables, threshold=0.05)
+        assert strict.rewrites_applied() < loose.rewrites_applied()
+
+    def test_fd_algorithm_override(self, covid_tables):
+        engine = IntegrationEngine()
+        result = engine.integrate(covid_tables, fd_algorithm="incremental")
+        assert result.fd_result.algorithm == "incremental"
+        assert engine.fd_algorithm.name == "alite"
+
+    def test_invalid_override_name_fails_fast(self, covid_tables):
+        engine = IntegrationEngine()
+        with pytest.raises(TypeError):
+            engine.integrate(covid_tables, thresold=0.8)
+
+    def test_invalid_override_value_fails_fast(self, covid_tables):
+        engine = IntegrationEngine()
+        with pytest.raises(ValueError):
+            engine.integrate(covid_tables, representative_policy="nope")
+
+    def test_overrides_rejected_on_match_stage(self, covid_tables):
+        # A MatchStage is already matched: silently ignoring a threshold
+        # override would hand back stale matches, so it must raise.
+        engine = IntegrationEngine()
+        matched = engine.match(engine.align(covid_tables))
+        with pytest.raises(TypeError):
+            engine.integrate(matched, threshold=0.99)
+        with pytest.raises(TypeError):
+            engine.integrate(matched, alignment_strategy="holistic")
+
+    def test_explicit_alignment_and_strategy_conflict(self, covid_tables):
+        from repro.schema_matching import ColumnAlignment
+
+        engine = IntegrationEngine()
+        alignment = ColumnAlignment.from_named_columns(covid_tables)
+        with pytest.raises(TypeError):
+            engine.integrate(covid_tables, alignment=alignment, alignment_strategy="holistic")
+
+    def test_regular_integration(self, covid_tables):
+        engine = IntegrationEngine()
+        result = engine.integrate(covid_tables, fuzzy=False)
+        assert result.value_matching == {}
+        assert "value_matching_seconds" not in result.timings
+
+    def test_requests_served_counter(self, covid_tables):
+        engine = IntegrationEngine()
+        engine.integrate(covid_tables)
+        engine.integrate(covid_tables, threshold=0.8)
+        assert engine.requests_served == 2
+
+
+class TestWarmEmbeddingCache:
+    def test_theta_sweep_embeds_each_value_once(self, covid_tables):
+        """The engine's whole point: a θ-sweep performs zero new embeddings."""
+        embedder = CountingMistralEmbedder()
+        engine = IntegrationEngine(FuzzyFDConfig(embedder=embedder))
+
+        engine.integrate(covid_tables, threshold=0.7)
+        calls_after_first = embedder.embed_calls
+        assert calls_after_first > 0
+
+        for theta in (0.6, 0.8, 0.9):
+            engine.integrate(covid_tables, threshold=theta)
+        assert embedder.embed_calls == calls_after_first
+        assert engine.embedding_cache.hits > 0
+
+    def test_operator_classes_do_not_share_state(self, covid_tables):
+        """One-shot operators stay independent (back-compat behaviour)."""
+        first = FuzzyFullDisjunction()
+        second = FuzzyFullDisjunction()
+        assert first.engine.embedder is not second.engine.embedder
+
+    def test_sweep_results_match_fresh_runs(self, covid_tables):
+        """Cached embeddings must not change any result of the sweep."""
+        engine = IntegrationEngine()
+        for theta in (0.6, 0.7, 0.9):
+            warm = engine.integrate(covid_tables, threshold=theta)
+            fresh = integrate(covid_tables, config=FuzzyFDConfig(threshold=theta))
+            assert warm.table.same_rows(fresh.table)

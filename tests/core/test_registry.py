@@ -1,0 +1,125 @@
+"""Tests for the generic plugin registry behind every extension point."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.registry import Registry, UnknownNameError
+
+
+class TestRegistry:
+    def test_register_direct_and_get(self):
+        registry = Registry("widget")
+        registry.register("a", int)
+        assert registry.get("a") is int
+        assert registry.create("a") == 0
+
+    def test_register_as_decorator(self):
+        registry = Registry("policy")
+
+        @registry.register("upper")
+        def upper(text):
+            return text.upper()
+
+        assert registry.get("upper") is upper
+        assert registry.get("upper")("hi") == "HI"
+
+    def test_names_sorted(self):
+        registry = Registry("thing", {"b": 1, "a": 2, "c": 3})
+        assert registry.names() == ["a", "b", "c"]
+        assert list(registry) == ["a", "b", "c"]
+        assert len(registry) == 3
+        assert "b" in registry and "z" not in registry
+
+    def test_unknown_name_error_lists_options(self):
+        registry = Registry("embedding model", {"mistral": object, "bert": object})
+        with pytest.raises(UnknownNameError) as excinfo:
+            registry.get("mistal")
+        message = str(excinfo.value)
+        assert "unknown embedding model 'mistal'" in message
+        assert "'bert'" in message and "'mistral'" in message
+
+    def test_unknown_name_error_is_value_and_key_error(self):
+        registry = Registry("solver")
+        with pytest.raises(ValueError):
+            registry.get("nope")
+        with pytest.raises(KeyError):
+            registry.get("nope")
+
+    def test_validate_returns_name_or_raises(self):
+        registry = Registry("kind", {"x": 1})
+        assert registry.validate("x") == "x"
+        with pytest.raises(UnknownNameError):
+            registry.validate("y")
+
+    def test_create_forwards_kwargs(self):
+        registry = Registry("maker")
+        registry.register("dict", dict)
+        assert registry.create("dict", a=1) == {"a": 1}
+
+    def test_resolve_passes_instances_through(self):
+        registry = Registry("number", {"zero": int})
+        assert registry.resolve(7, int) == 7
+        assert registry.resolve("zero", int) == 0
+
+    def test_reregistering_replaces(self):
+        registry = Registry("kind")
+        registry.register("x", 1)
+        registry.register("x", 2)
+        assert registry.get("x") == 2
+
+    def test_unregister(self):
+        registry = Registry("kind", {"x": 1})
+        registry.unregister("x")
+        assert "x" not in registry
+        registry.unregister("x")  # absent names are a no-op
+
+
+class TestBuiltinRegistries:
+    """Every extension point resolves through the one Registry mechanism."""
+
+    def test_all_five_families_are_registries(self):
+        from repro.core.config import PRESETS
+        from repro.core.representatives import REPRESENTATIVE_POLICIES
+        from repro.embeddings.registry import EMBEDDERS
+        from repro.fd import FD_ALGORITHMS
+        from repro.matching.assignment import ASSIGNMENT_SOLVERS
+        from repro.schema_matching.strategies import ALIGNMENT_STRATEGIES
+
+        for registry in (
+            EMBEDDERS,
+            FD_ALGORITHMS,
+            ASSIGNMENT_SOLVERS,
+            REPRESENTATIVE_POLICIES,
+            ALIGNMENT_STRATEGIES,
+            PRESETS,
+        ):
+            assert isinstance(registry, Registry)
+            assert registry.names()
+
+    def test_alignment_strategies(self):
+        from repro.schema_matching.strategies import ALIGNMENT_STRATEGIES, available_strategies
+        from repro.table import Table
+
+        assert {"by_name", "header", "holistic"} <= set(available_strategies())
+        tables = [
+            Table("t1", ["City", "A"], [("Berlin", "1")]),
+            Table("t2", ["City", "B"], [("Paris", "2")]),
+        ]
+        alignment = ALIGNMENT_STRATEGIES.get("by_name")(tables)
+        assert {group.name for group in alignment} == {"City", "A", "B"}
+
+    def test_custom_policy_plugs_into_value_matcher(self):
+        from repro.core.representatives import REPRESENTATIVE_POLICIES, select_representative
+
+        @REPRESENTATIVE_POLICIES.register("always-first-member")
+        def first_member(members, frequencies, column_order):
+            return members[0][1]
+
+        try:
+            chosen = select_representative(
+                [("t1", "b"), ("t2", "a")], {}, {}, policy="always-first-member"
+            )
+            assert chosen == "b"
+        finally:
+            REPRESENTATIVE_POLICIES.unregister("always-first-member")
