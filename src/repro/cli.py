@@ -97,7 +97,15 @@ def _collect_tables(paths: Sequence[str]) -> List[Table]:
 #: ``integrate`` flags that map onto config knobs.  A flag overrides the
 #: preset / JSON configuration only when the user passed it explicitly
 #: (tracked by :class:`_TrackedStore`).
-_INTEGRATE_CONFIG_FLAGS = ("embedder", "threshold", "fd_algorithm", "alignment", "blocking")
+_INTEGRATE_CONFIG_FLAGS = (
+    "embedder",
+    "threshold",
+    "fd_algorithm",
+    "alignment",
+    "blocking",
+    "max_workers",
+    "parallel_backend",
+)
 
 
 def _build_config(args: argparse.Namespace) -> FuzzyFDConfig:
@@ -257,6 +265,22 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["off", "on", "auto"],
         action=_TrackedStore,
         help="route wide column pairs through the component-wise blocked matcher",
+    )
+    integrate_parser.add_argument(
+        "--workers",
+        dest="max_workers",
+        type=int,
+        default=1,
+        action=_TrackedStore,
+        help="worker bound of the parallel execution layer (1 = single-threaded)",
+    )
+    integrate_parser.add_argument(
+        "--parallel-backend",
+        dest="parallel_backend",
+        default="thread",
+        choices=["serial", "thread", "process"],
+        action=_TrackedStore,
+        help="executor backend used when --workers > 1",
     )
     integrate_parser.add_argument("--max-rows", type=int, default=20, help="rows to print without --output")
     integrate_parser.add_argument("--show-rewrites", action="store_true", help="print the value rewrites applied")

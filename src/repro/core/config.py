@@ -18,10 +18,10 @@ import dataclasses
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Union
+from typing import Any, Dict, List, Optional, Union
 
 from repro.core.representatives import REPRESENTATIVE_POLICIES
-from repro.core.value_matching import DEFAULT_BLOCKING_CUTOFF
+from repro.core.value_matching import DEFAULT_BLOCKING_CUTOFF, DEFAULT_BLOCKING_KEY_CAP
 from repro.embeddings.base import ValueEmbedder
 from repro.embeddings.registry import EMBEDDERS
 from repro.fd import FD_ALGORITHMS
@@ -29,6 +29,7 @@ from repro.fd.base import FullDisjunctionAlgorithm
 from repro.matching.assignment import ASSIGNMENT_SOLVERS, AssignmentSolver
 from repro.registry import Registry
 from repro.schema_matching.strategies import ALIGNMENT_STRATEGIES
+from repro.utils.executor import EXECUTOR_BACKENDS, ExecutorConfig
 
 
 @dataclass
@@ -64,12 +65,29 @@ class FuzzyFDConfig:
         go sparse).
     blocking_cutoff:
         Cell count ``|left| × |right|`` at which ``"auto"`` engages blocking.
+    blocking_key_cap:
+        Frequent-key cap of the blocked matcher's candidate generator: a
+        blocking key whose *smaller* posting list exceeds the cap is skipped
+        (stop-word-like keys would otherwise contribute quadratic candidate
+        blocks).  ``None`` disables the cap (pre-cap behaviour).
     alignment:
         Alignment strategy used when the caller does not pass an explicit
         alignment: ``"by_name"`` groups equal headers (the Figure 1 setting),
         ``"holistic"`` runs embedding-based holistic schema matching; any
         strategy registered in
         :data:`~repro.schema_matching.strategies.ALIGNMENT_STRATEGIES` works.
+    max_workers:
+        Worker bound of the parallel execution layer.  ``1`` (the paper's
+        single-threaded setting, the default) disables every pool; larger
+        values let the blocked matcher solve components concurrently, the
+        partitioned FD close tuple components concurrently, and
+        ``IntegrationEngine.integrate_many`` serve requests concurrently.
+    parallel_backend:
+        Executor backend used when ``max_workers > 1``: ``"thread"`` (numpy/
+        scipy release the GIL — the usual choice), ``"process"`` (true CPU
+        parallelism for pure-Python closures at a pickling cost), or
+        ``"serial"`` (force the plain loop regardless of ``max_workers``).
+        Results are identical across backends by construction.
     """
 
     embedder: Union[str, ValueEmbedder] = "mistral"
@@ -80,7 +98,10 @@ class FuzzyFDConfig:
     exact_first: bool = True
     blocking: str = "off"
     blocking_cutoff: int = DEFAULT_BLOCKING_CUTOFF
+    blocking_key_cap: Optional[int] = DEFAULT_BLOCKING_KEY_CAP
     alignment: str = "by_name"
+    max_workers: int = 1
+    parallel_backend: str = "thread"
 
     def __post_init__(self) -> None:
         if not 0.0 < self.threshold <= 1.0:
@@ -92,6 +113,17 @@ class FuzzyFDConfig:
         if self.blocking_cutoff <= 0:
             raise ValueError(
                 f"blocking_cutoff must be positive, got {self.blocking_cutoff}"
+            )
+        if self.blocking_key_cap is not None and self.blocking_key_cap < 1:
+            raise ValueError(
+                f"blocking_key_cap must be >= 1 or None, got {self.blocking_key_cap}"
+            )
+        if self.max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {self.max_workers}")
+        if self.parallel_backend not in EXECUTOR_BACKENDS:
+            raise ValueError(
+                f"parallel_backend must be one of {list(EXECUTOR_BACKENDS)}, "
+                f"got {self.parallel_backend!r}"
             )
         # Every registry-resolved knob is checked here, at construction, so an
         # unknown name can never survive into the pipeline's hot path.
@@ -114,8 +146,23 @@ class FuzzyFDConfig:
         return ASSIGNMENT_SOLVERS.resolve(self.assignment_solver, AssignmentSolver)
 
     def resolve_fd_algorithm(self) -> FullDisjunctionAlgorithm:
-        """Return the Full Disjunction algorithm instance."""
-        return FD_ALGORITHMS.resolve(self.fd_algorithm, FullDisjunctionAlgorithm)
+        """Return the Full Disjunction algorithm instance.
+
+        Algorithms resolved *by name* that expose ``configure_executor``
+        (e.g. ``"partitioned"``) are handed this config's executor settings;
+        a caller-supplied instance is passed through untouched — its own
+        worker configuration wins.
+        """
+        algorithm = FD_ALGORITHMS.resolve(self.fd_algorithm, FullDisjunctionAlgorithm)
+        if isinstance(self.fd_algorithm, str):
+            configure = getattr(algorithm, "configure_executor", None)
+            if configure is not None:
+                configure(self.executor_config())
+        return algorithm
+
+    def executor_config(self) -> ExecutorConfig:
+        """The parallel-execution settings as an :class:`ExecutorConfig`."""
+        return ExecutorConfig(backend=self.parallel_backend, max_workers=self.max_workers)
 
     # -- derived configurations ---------------------------------------------------
     def replace(self, **overrides: Any) -> "FuzzyFDConfig":
@@ -184,8 +231,9 @@ class FuzzyFDConfig:
 
 #: Named operating points.  ``"paper"`` is the paper's exact configuration;
 #: ``"fast"`` trades effectiveness for speed (cheap surface embedder, greedy
-#: assignment); ``"scale"`` keeps the paper's models but engages blocking and
-#: the partitioned FD substrate for wide data-lake inputs.
+#: assignment); ``"scale"`` keeps the paper's models but engages blocking,
+#: the partitioned FD substrate and the parallel execution layer (4 thread
+#: workers) for wide data-lake inputs.
 PRESETS: Registry[Dict[str, Any]] = Registry(
     "config preset",
     {
@@ -198,6 +246,8 @@ PRESETS: Registry[Dict[str, Any]] = Registry(
         "scale": {
             "blocking": "auto",
             "fd_algorithm": "partitioned",
+            "max_workers": 4,
+            "parallel_backend": "thread",
         },
     },
 )

@@ -19,13 +19,20 @@ or as one call with per-request overrides::
 
     for theta in (0.6, 0.7, 0.8):
         engine.integrate(tables, threshold=theta)   # embeds values only once
+
+The engine is a multi-client service: :meth:`IntegrationEngine.integrate_many`
+serves a batch of requests over a bounded thread pool (the embedding cache is
+thread-safe and matchers are per-worker-thread), and the ``max_workers`` /
+``parallel_backend`` config knobs additionally parallelise the inside of a
+single request (component-wise matching, partitioned FD).
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import FuzzyFDConfig
 from repro.core.value_matching import ColumnValues, ValueMatcher, ValueMatchingResult
@@ -36,6 +43,7 @@ from repro.matching.assignment import AssignmentSolver
 from repro.schema_matching.alignment import ColumnAlignment
 from repro.schema_matching.strategies import ALIGNMENT_STRATEGIES
 from repro.table.table import Table
+from repro.utils.executor import ExecutorConfig, run_partitioned
 
 #: Knobs :meth:`IntegrationEngine.integrate` accepts as per-request overrides.
 REQUEST_OVERRIDES = (
@@ -44,7 +52,14 @@ REQUEST_OVERRIDES = (
     "exact_first",
     "blocking",
     "blocking_cutoff",
+    "blocking_key_cap",
+    "max_workers",
+    "parallel_backend",
 )
+
+#: Overrides for which ``None`` is a meaningful value (not "use the engine
+#: default"): ``blocking_key_cap=None`` disables the frequent-key cap.
+NULLABLE_OVERRIDES = frozenset({"blocking_key_cap"})
 
 
 def _count_rewrites(value_matching: Dict[str, ValueMatchingResult]) -> int:
@@ -139,8 +154,12 @@ class IntegrationEngine:
         self.fd_algorithm: FullDisjunctionAlgorithm = config.resolve_fd_algorithm()
         self.requests_served = 0
         # One ValueMatcher per distinct override combination; all share the
-        # engine's embedder (and therefore its cache) and solver.
-        self._matchers: Dict[Tuple, ValueMatcher] = {}
+        # engine's embedder (and therefore its thread-safe cache) and solver.
+        # The memo is *per worker thread* (threading.local): a matcher keeps
+        # per-call mutable state (``last_statistics`` on the blocked engine),
+        # so two concurrent ``integrate_many`` requests must never share one.
+        self._thread_state = threading.local()
+        self._served_lock = threading.Lock()
 
     # -- introspection -------------------------------------------------------------
     @property
@@ -187,6 +206,8 @@ class IntegrationEngine:
         self,
         aligned: Union[AlignmentStage, Sequence[Table]],
         alignment: Optional[ColumnAlignment] = None,
+        *,
+        _effective: Optional[FuzzyFDConfig] = None,
         **overrides: Any,
     ) -> MatchStage:
         """Stage 2: fuzzy value matching + representative rewriting.
@@ -194,6 +215,8 @@ class IntegrationEngine:
         ``aligned`` is the :class:`AlignmentStage` from :meth:`align` (or a
         sequence of already-aligned tables plus an explicit ``alignment``).
         ``overrides`` are the per-request knobs of :data:`REQUEST_OVERRIDES`.
+        ``_effective`` is internal: :meth:`integrate` passes its
+        already-validated override config so it is not rebuilt here.
         """
         if isinstance(aligned, AlignmentStage):
             aligned_tables: Sequence[Table] = aligned.tables
@@ -205,7 +228,7 @@ class IntegrationEngine:
             aligned_tables = list(aligned)
             timings = {}
 
-        effective = self._effective_config(overrides)
+        effective = _effective if _effective is not None else self._effective_config(overrides)
         matcher = self._matcher_for(effective)
 
         start = time.perf_counter()
@@ -253,17 +276,43 @@ class IntegrationEngine:
         are reused, so a threshold sweep embeds each value once.
         """
         if isinstance(tables, MatchStage):
-            if overrides or alignment_strategy is not None:
-                rejected = sorted(overrides) + (
-                    ["alignment_strategy"] if alignment_strategy is not None else []
-                )
+            # Executor knobs still steer the FD stage that is about to run;
+            # everything else configures work that already happened.
+            executor_overrides = {
+                key: overrides.pop(key)
+                for key in ("max_workers", "parallel_backend")
+                if key in overrides
+            }
+            rejected = sorted(overrides)
+            if alignment_strategy is not None:
+                rejected.append("alignment_strategy")
+            if alignment is not None:
+                rejected.append("alignment")
+            if not fuzzy:
+                rejected.append("fuzzy=False")
+            if rejected:
                 raise TypeError(
                     f"override(s) {rejected} cannot apply to a MatchStage — alignment "
-                    "and matching already ran; pass them to align()/match() instead"
+                    "and matching already ran; pass them to align()/match() instead "
+                    "(or integrate the raw tables)"
                 )
             staged = tables
+            effective = self._effective_config(executor_overrides)
         else:
             if isinstance(tables, AlignmentStage):
+                if alignment is not None or alignment_strategy is not None:
+                    rejected = [
+                        name
+                        for name, value in (
+                            ("alignment", alignment),
+                            ("alignment_strategy", alignment_strategy),
+                        )
+                        if value is not None
+                    ]
+                    raise TypeError(
+                        f"argument(s) {rejected} cannot apply to an AlignmentStage — "
+                        "alignment already ran; re-align the raw tables instead"
+                    )
                 aligned = tables
             else:
                 if not tables:
@@ -277,10 +326,19 @@ class IntegrationEngine:
                     aligned = self.apply_alignment(tables, alignment)
                 else:
                     aligned = self.align(tables, strategy=alignment_strategy)
+            effective = self._effective_config(overrides)
             if fuzzy:
-                staged = self.match(aligned, **overrides)
+                staged = self.match(aligned, _effective=effective, **overrides)
             else:
-                self._effective_config(overrides)  # still validate the overrides
+                # Without the matching stage, matching-only overrides would
+                # be silently ignored — reject them loudly.  The executor
+                # knobs stay legal: they still steer the FD stage.
+                ignored = sorted(set(overrides) - {"max_workers", "parallel_backend"})
+                if ignored:
+                    raise TypeError(
+                        f"override(s) {ignored} have no effect with fuzzy=False — "
+                        "the matching stage they configure is skipped"
+                    )
                 staged = MatchStage(
                     alignment=aligned.alignment,
                     value_matching={},
@@ -288,13 +346,14 @@ class IntegrationEngine:
                     timings=dict(aligned.timings),
                 )
 
-        fd = self._resolve_fd(fd_algorithm)
+        fd = self._resolve_fd(fd_algorithm, effective)
         timings = dict(staged.timings)
         start = time.perf_counter()
         fd_result = fd.integrate(staged.tables)
         timings["full_disjunction_seconds"] = time.perf_counter() - start
 
-        self.requests_served += 1
+        with self._served_lock:
+            self.requests_served += 1
         return FuzzyIntegrationResult(
             table=fd_result.table,
             fd_result=fd_result,
@@ -302,6 +361,37 @@ class IntegrationEngine:
             value_matching=staged.value_matching,
             rewritten_tables=list(staged.tables),
             timings=timings,
+        )
+
+    def integrate_many(
+        self,
+        requests: Sequence[Sequence[Table]],
+        *,
+        max_workers: Optional[int] = None,
+        **overrides: Any,
+    ) -> List[FuzzyIntegrationResult]:
+        """Serve several integration requests concurrently (bounded pool).
+
+        ``requests`` is a sequence of table lists; each is served exactly as
+        :meth:`integrate` would serve it (``overrides`` apply to every
+        request), and the results come back in request order — identical to a
+        sequential loop, whatever the worker count.  Workers are threads
+        sharing the warm embedder: the embedding cache is thread-safe, and
+        each worker thread builds its own matcher, so requests never share
+        mutable matching state.  ``max_workers`` defaults to the engine
+        config's ``max_workers``; ``1`` serves the batch serially.
+        """
+        workers = max_workers if max_workers is not None else self.config.max_workers
+        if workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {workers}")
+        request_list = list(requests)
+        # The engine's state lives in this process, so the request pool is
+        # thread-based regardless of ``parallel_backend`` (which still
+        # steers the per-request component solving).
+        pool = ExecutorConfig(backend="thread", max_workers=workers, batch_size=1,
+                              min_parallel_items=2)
+        return run_partitioned(
+            request_list, lambda tables: self.integrate(tables, **overrides), pool
         )
 
     # -- internals -----------------------------------------------------------------
@@ -313,20 +403,30 @@ class IntegrationEngine:
                 f"unknown per-request override(s) {unknown}; "
                 f"supported: {sorted(REQUEST_OVERRIDES)}"
             )
-        provided = {key: value for key, value in overrides.items() if value is not None}
+        provided = {
+            key: value
+            for key, value in overrides.items()
+            if value is not None or key in NULLABLE_OVERRIDES
+        }
         if not provided:
             return self.config
         return self.config.replace(**provided)
 
     def _matcher_for(self, effective: FuzzyFDConfig) -> ValueMatcher:
+        matchers: Dict[Tuple, ValueMatcher] = getattr(self._thread_state, "matchers", None)
+        if matchers is None:
+            matchers = self._thread_state.matchers = {}
         key = (
             effective.threshold,
             effective.representative_policy,
             effective.exact_first,
             effective.blocking,
             effective.blocking_cutoff,
+            effective.blocking_key_cap,
+            effective.max_workers,
+            effective.parallel_backend,
         )
-        matcher = self._matchers.get(key)
+        matcher = matchers.get(key)
         if matcher is None:
             matcher = ValueMatcher(
                 embedder=self.embedder,
@@ -336,16 +436,41 @@ class IntegrationEngine:
                 exact_first=effective.exact_first,
                 blocking=effective.blocking,
                 blocking_cutoff=effective.blocking_cutoff,
+                blocking_key_cap=effective.blocking_key_cap,
+                max_workers=effective.max_workers,
+                parallel_backend=effective.parallel_backend,
             )
-            self._matchers[key] = matcher
+            matchers[key] = matcher
         return matcher
 
     def _resolve_fd(
-        self, fd_algorithm: Union[str, FullDisjunctionAlgorithm, None]
+        self,
+        fd_algorithm: Union[str, FullDisjunctionAlgorithm, None],
+        effective: FuzzyFDConfig,
     ) -> FullDisjunctionAlgorithm:
+        """The FD algorithm for one request, honouring executor overrides.
+
+        A caller-supplied instance always keeps its own configuration.  A
+        name (per-request or from the engine config) is resolved fresh and
+        configured from the *effective* config, so ``max_workers`` /
+        ``parallel_backend`` overrides reach the FD stage too — the shared
+        ``self.fd_algorithm`` is never mutated (``integrate_many`` workers
+        run through here concurrently).
+        """
         if fd_algorithm is None:
-            return self.fd_algorithm
-        return FD_ALGORITHMS.resolve(fd_algorithm, FullDisjunctionAlgorithm)
+            executor_overridden = (
+                effective.max_workers != self.config.max_workers
+                or effective.parallel_backend != self.config.parallel_backend
+            )
+            if not (executor_overridden and isinstance(self.config.fd_algorithm, str)):
+                return self.fd_algorithm
+            # ``effective`` carries the engine's fd_algorithm name plus the
+            # overridden executor knobs; resolving through it yields a fresh,
+            # correctly configured instance.
+            return effective.resolve_fd_algorithm()
+        # One resolve-then-configure protocol, owned by the config: names get
+        # a fresh configured instance, instances pass through untouched.
+        return effective.replace(fd_algorithm=fd_algorithm).resolve_fd_algorithm()
 
     @staticmethod
     def _match_and_rewrite(

@@ -27,13 +27,23 @@ from repro.core.representatives import REPRESENTATIVE_POLICIES, select_represent
 from repro.embeddings.base import ValueEmbedder
 from repro.matching.assignment import AssignmentSolver
 from repro.matching.bipartite import BipartiteValueMatcher, ValueMatch
-from repro.matching.blocking import BlockedValueMatcher
+from repro.matching.blocking import (
+    DEFAULT_FREQUENT_KEY_CAP,
+    BlockedValueMatcher,
+    ValueBlocker,
+)
 from repro.matching.clustering import ValueMatchSet
 from repro.matching.distance import EmbeddingDistance
+from repro.utils.executor import ExecutorConfig
 
 #: Cell count (``|left| × |right|``) at which ``blocking="auto"`` switches a
 #: column pair from the exhaustive matcher to the blocked engine.
 DEFAULT_BLOCKING_CUTOFF = 250_000
+
+#: Default frequent-key cap of the blocked matcher's candidate generator: a
+#: blocking key whose *smaller* posting list exceeds this is skipped (see
+#: :class:`repro.matching.blocking.ValueBlocker`).  ``None`` disables it.
+DEFAULT_BLOCKING_KEY_CAP: Optional[int] = DEFAULT_FREQUENT_KEY_CAP
 
 ValueKey = Tuple[Hashable, object]
 
@@ -142,6 +152,9 @@ class ValueMatcher:
         exact_first: bool = True,
         blocking: str = "off",
         blocking_cutoff: int = DEFAULT_BLOCKING_CUTOFF,
+        blocking_key_cap: Optional[int] = DEFAULT_BLOCKING_KEY_CAP,
+        max_workers: int = 1,
+        parallel_backend: str = "thread",
     ) -> None:
         if blocking not in ("off", "on", "auto"):
             raise ValueError(f"blocking must be 'off', 'on' or 'auto', got {blocking!r}")
@@ -156,11 +169,22 @@ class ValueMatcher:
         self.exact_first = exact_first
         self.blocking = blocking
         self.blocking_cutoff = blocking_cutoff
+        self.blocking_key_cap = blocking_key_cap
+        # Validated eagerly (backend name, worker count) by ExecutorConfig;
+        # the blocked engine is the only consumer — the exhaustive matcher
+        # solves one global assignment and has nothing to distribute.
+        self.executor = ExecutorConfig(backend=parallel_backend, max_workers=max_workers)
         self._matcher = BipartiteValueMatcher(
             distance=EmbeddingDistance(embedder), threshold=threshold, solver=solver
         )
         self._blocked_matcher = (
-            BlockedValueMatcher(embedder, threshold=threshold, solver=solver)
+            BlockedValueMatcher(
+                embedder,
+                threshold=threshold,
+                solver=solver,
+                blocker=ValueBlocker(frequent_key_cap=blocking_key_cap),
+                executor=self.executor,
+            )
             if blocking != "off"
             else None
         )
@@ -222,6 +246,15 @@ class ValueMatcher:
                 )
                 statistics["blocking_pairs_scored"] += float(blocking_stats.pairs_scored)
                 statistics["blocking_pairs_avoided"] += float(blocking_stats.pairs_avoided)
+                statistics["blocking_skipped_keys"] = statistics.get(
+                    "blocking_skipped_keys", 0.0
+                ) + float(blocking_stats.skipped_keys)
+                # Component-size distribution, aggregated over every blocked
+                # assignment; the reporting layer renders these buckets as a
+                # histogram to guide cutoff/batching tuning.
+                for label, count in blocking_stats.component_size_histogram().items():
+                    key = f"blocking_component_size_{label}"
+                    statistics[key] = statistics.get(key, 0.0) + float(count)
 
             groups_by_representative: Dict[object, List[_Group]] = {}
             for group in groups:

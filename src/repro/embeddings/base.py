@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import abc
+import threading
 from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
@@ -36,6 +37,10 @@ class ValueEmbedder(abc.ABC):
         cached = self._cache.get(self.name, text)
         if cached is not None:
             return cached
+        return self._embed_and_cache(text)
+
+    def _embed_and_cache(self, text: str) -> np.ndarray:
+        """Compute, validate, normalise and cache the embedding of ``text``."""
         vector = np.asarray(self._embed_text(text), dtype=np.float64)
         if vector.shape != (self.dimension,):
             raise ValueError(
@@ -48,10 +53,26 @@ class ValueEmbedder(abc.ABC):
         return vector
 
     def embed_many(self, values: Sequence[object]) -> np.ndarray:
-        """Return an ``(n, dimension)`` matrix of embeddings for ``values``."""
+        """Return an ``(n, dimension)`` matrix of embeddings for ``values``.
+
+        Cached rows are copied into a preallocated matrix under a single
+        cache-lock acquisition (:meth:`EmbeddingCache.fill_many`) — on warm
+        caches this is the hot path of the blocked matcher, and one lock
+        round instead of ``n`` matters once a worker pool shares the cache.
+        """
         if not values:
             return np.zeros((0, self.dimension), dtype=np.float64)
-        return np.vstack([self.embed(value) for value in values])
+        texts = ["" if value is None else str(value) for value in values]
+        matrix = np.empty((len(texts), self.dimension), dtype=np.float64)
+        computed: Dict[str, np.ndarray] = {}
+        for index in self._cache.fill_many(self.name, texts, matrix):
+            text = texts[index]
+            # Duplicate texts within one cold batch embed exactly once.
+            vector = computed.get(text)
+            if vector is None:
+                vector = computed[text] = self._embed_and_cache(text)
+            matrix[index] = vector
+        return matrix
 
     def cosine_similarity(self, left: object, right: object) -> float:
         """Cosine similarity between two values' embeddings."""
@@ -77,25 +98,64 @@ class EmbeddingCache:
     the pipeline; the paper's efficiency argument (Figure 3) assumes values are
     embedded once.  The cache makes repeated integration runs over the same
     tables (and the benchmark's repeated measurements) reflect that behaviour.
+
+    The cache is thread-safe: a long-lived :class:`~repro.core.engine.
+    IntegrationEngine` shares one cache across a worker pool, so lookups,
+    inserts, evictions and the hit/miss counters all happen under one lock
+    (the critical sections are dict operations — far cheaper than the
+    embedding computation they guard).  Two threads missing on the same value
+    may both embed it; both arrive at the same vector, so the second ``put``
+    is a harmless overwrite.
     """
 
     def __init__(self, max_entries: Optional[int] = None) -> None:
         self._store: Dict[tuple, np.ndarray] = {}
+        self._lock = threading.RLock()
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._store)
+        with self._lock:
+            return len(self._store)
 
     def get(self, model: str, text: str) -> Optional[np.ndarray]:
         """Return a cached vector or ``None``."""
-        vector = self._store.get((model, text))
-        if vector is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        return vector
+        with self._lock:
+            vector = self._store.get((model, text))
+            if vector is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return vector
+
+    def fill_many(self, model: str, texts: Sequence[str], out: np.ndarray) -> List[int]:
+        """Copy cached vectors into ``out`` rows; return the missing indices.
+
+        One lock acquisition covers the whole batch, so a pool of workers
+        sharing the cache contends once per column instead of once per value.
+        Counters move exactly once per text (hit or miss).
+        """
+        missing: List[int] = []
+        missing_texts: set = set()
+        distinct_misses = 0
+        with self._lock:
+            store = self._store
+            for index, text in enumerate(texts):
+                vector = store.get((model, text))
+                if vector is None:
+                    missing.append(index)
+                    # Repeated occurrences of one uncached text count as one
+                    # miss + hits, matching the old embed()-per-value path
+                    # (the caller embeds the text once and reuses it).
+                    if text not in missing_texts:
+                        missing_texts.add(text)
+                        distinct_misses += 1
+                else:
+                    out[index] = vector
+            self.hits += len(texts) - distinct_misses
+            self.misses += distinct_misses
+        return missing
 
     def put(self, model: str, text: str, vector: np.ndarray) -> None:
         """Insert a vector, evicting arbitrary entries if over capacity.
@@ -104,26 +164,29 @@ class EmbeddingCache:
         grow, so no live entry needs to make room.
         """
         key = (model, text)
-        if (
-            self.max_entries is not None
-            and key not in self._store
-            and len(self._store) >= self.max_entries
-            and self._store
-        ):
-            # Simple eviction: drop the oldest inserted entry.
-            oldest = next(iter(self._store))
-            del self._store[oldest]
-        self._store[key] = vector
+        with self._lock:
+            if (
+                self.max_entries is not None
+                and key not in self._store
+                and len(self._store) >= self.max_entries
+                and self._store
+            ):
+                # Simple eviction: drop the oldest inserted entry.
+                oldest = next(iter(self._store))
+                del self._store[oldest]
+            self._store[key] = vector
 
     def clear(self) -> None:
         """Drop every cached vector and reset the statistics."""
-        self._store.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._store.clear()
+            self.hits = 0
+            self.misses = 0
 
     def stats(self) -> Dict[str, int]:
-        """Return hit/miss/size counters."""
-        return {"hits": self.hits, "misses": self.misses, "size": len(self._store)}
+        """Return hit/miss/size counters (one consistent snapshot)."""
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses, "size": len(self._store)}
 
 
 def mean_pool(vectors: Iterable[np.ndarray], dimension: int) -> np.ndarray:

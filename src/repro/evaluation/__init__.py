@@ -12,7 +12,11 @@ from repro.evaluation.metrics import (
     score_match_sets,
 )
 from repro.evaluation.runtime import RuntimePoint, runtime_sweep
-from repro.evaluation.reporting import format_markdown_table, format_scores_table
+from repro.evaluation.reporting import (
+    format_component_histogram,
+    format_markdown_table,
+    format_scores_table,
+)
 
 __all__ = [
     "MatchingScores",
@@ -21,6 +25,7 @@ __all__ = [
     "macro_average",
     "RuntimePoint",
     "runtime_sweep",
+    "format_component_histogram",
     "format_markdown_table",
     "format_scores_table",
 ]

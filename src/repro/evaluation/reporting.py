@@ -32,6 +32,58 @@ def format_scores_table(scores_by_model: Mapping[str, MatchingScores]) -> str:
     return format_markdown_table(["Model", "Precision", "Recall", "F1-Score"], rows)
 
 
+def format_component_histogram(source, width: int = 30) -> str:
+    """Render the blocked matcher's component-size distribution.
+
+    ``source`` is a :class:`~repro.matching.blocking.BlockingStatistics`
+    (its :meth:`component_size_histogram` is used), a ``label -> count``
+    mapping, or a :class:`~repro.core.value_matching.ValueMatchingResult`-style
+    statistics dict carrying ``blocking_component_size_<label>`` keys.  The
+    distribution tells you where the matching work lives: a mass of 1-cell
+    components favours the vectorised singleton path, a fat tail means the
+    assignment solver (and the executor's batch balancing) dominates — which
+    is what guides ``blocking_cutoff`` and batch-size tuning.
+    """
+    from repro.matching.blocking import COMPONENT_SIZE_BUCKETS
+
+    bucket_labels = [label for label, _ in COMPONENT_SIZE_BUCKETS]
+    histogram = getattr(source, "component_size_histogram", None)
+    if callable(histogram):
+        counts: Dict[str, int] = histogram()
+    elif isinstance(source, Mapping) and any(
+        str(key).startswith("blocking_component_size_") for key in source
+    ):
+        counts = {
+            str(key)[len("blocking_component_size_") :]: int(value)
+            for key, value in source.items()
+            if str(key).startswith("blocking_component_size_")
+        }
+    elif isinstance(source, Mapping) and set(map(str, source)) <= set(bucket_labels):
+        counts = {str(label): int(count) for label, count in source.items()}
+    else:
+        # A statistics dict from a non-blocked run (or any other mapping)
+        # has no component distribution; rendering its unrelated counters as
+        # a histogram would be actively misleading.
+        raise ValueError(
+            "source carries no component-size distribution: expected "
+            "BlockingStatistics, a statistics dict with "
+            "'blocking_component_size_*' keys, or a mapping over the buckets "
+            f"{bucket_labels}"
+        )
+    total = sum(counts.values())
+    peak = max(counts.values(), default=0)
+    rows = []
+    # Render in bucket order (smallest to largest), not the mapping's
+    # iteration order — a stats dict reloaded from sorted JSON iterates
+    # alphabetically — and keep every bucket present even when empty.
+    for label in bucket_labels:
+        count = counts.get(label, 0)
+        bar = "#" * (round(width * count / peak) if peak else 0)
+        share = f"{100.0 * count / total:.1f}%" if total else "-"
+        rows.append([label, count, share, bar])
+    return format_markdown_table(["Component cells", "Count", "Share", "Histogram"], rows)
+
+
 def format_runtime_series(points: Sequence) -> str:
     """Render the Figure 3 series: size | regular FD seconds | fuzzy FD seconds."""
     by_size: Dict[int, Dict[str, float]] = {}

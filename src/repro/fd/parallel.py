@@ -2,21 +2,42 @@
 
 The component decomposition of :mod:`repro.fd.incremental` makes the closure
 embarrassingly parallel: every connected component is an independent work
-unit.  This implementation distributes components over a thread pool.  Because
-the closure is pure Python the speed-up on CPython is modest (the GIL), but
-the structure mirrors the paper's parallelisation baseline and allows the
-ablation benchmark to compare the partitioning strategies; for single-threaded
-use it degrades gracefully to the incremental algorithm.
+unit.  This implementation distributes components through the shared parallel
+execution layer (:mod:`repro.utils.executor`), so the backend (serial /
+thread / process), worker bound and component batching are the same knobs the
+blocked value matcher and the integration engine use — one
+:class:`~repro.utils.executor.ExecutorConfig` end to end.  Because the
+closure is mostly pure Python, the thread backend's speed-up on CPython is
+modest (the GIL); the process backend ships each batch of components to a
+worker process instead.  For single-threaded use it degrades gracefully to
+the incremental algorithm.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+from functools import partial
 from typing import Dict, List, Sequence, Tuple
 
 from repro.fd.base import FullDisjunctionAlgorithm
 from repro.fd.complementation import ComplementationEngine, connected_components
 from repro.table.table import Provenance, RowValues, Table
+from repro.utils.executor import ExecutorConfig, run_partitioned
+
+#: One work unit: the rows and provenance sets of one connected component.
+ComponentWork = Tuple[List[RowValues], List[Provenance]]
+
+
+def _close_component(
+    engine: ComplementationEngine, work: ComponentWork
+) -> Tuple[List[RowValues], List[Provenance], Dict[str, float]]:
+    """Close one component (module-level so process pools can pickle it).
+
+    Each worker records its closure counters into a private dict (sharing
+    one dict across a pool would race); the caller sums them.
+    """
+    statistics: Dict[str, float] = {}
+    rows, provenance = engine.close(work[0], work[1], statistics)
+    return rows, provenance, statistics
 
 
 class PartitionedFullDisjunction(FullDisjunctionAlgorithm):
@@ -30,11 +51,34 @@ class PartitionedFullDisjunction(FullDisjunctionAlgorithm):
         max_tuples: int = 5_000_000,
         max_workers: int = 4,
         min_parallel_components: int = 8,
+        backend: str = "thread",
     ) -> None:
         super().__init__(result_name)
         self._engine = ComplementationEngine(max_tuples=max_tuples)
-        self.max_workers = max_workers
-        self.min_parallel_components = min_parallel_components
+        self.executor = ExecutorConfig(
+            backend=backend,
+            max_workers=max_workers,
+            min_parallel_items=min_parallel_components,
+        )
+
+    @property
+    def max_workers(self) -> int:
+        """Worker bound of the executor (kept for back-compat introspection)."""
+        return self.executor.max_workers
+
+    def configure_executor(self, config: ExecutorConfig) -> None:
+        """Adopt pipeline-wide executor settings (called by ``FuzzyFDConfig``).
+
+        The component threshold below which the work stays serial is an
+        algorithm property, not a pipeline one, so the incoming config's
+        ``min_parallel_items`` is overridden with this algorithm's own.
+        """
+        self.executor = ExecutorConfig(
+            backend=config.backend,
+            max_workers=config.max_workers,
+            batch_size=config.batch_size,
+            min_parallel_items=max(config.min_parallel_items, 8),
+        )
 
     def _integrate(self, tables: Sequence[Table], statistics: Dict[str, float]) -> Table:
         union = self._outer_union(tables)
@@ -45,7 +89,7 @@ class PartitionedFullDisjunction(FullDisjunctionAlgorithm):
         statistics["outer_union_tuples"] = float(union.num_rows)
         statistics["components"] = float(len(components))
 
-        work: List[Tuple[List[RowValues], List[Provenance]]] = [
+        work: List[ComponentWork] = [
             (
                 [union.rows[index] for index in component],
                 [provenance[index] for index in component],
@@ -53,23 +97,21 @@ class PartitionedFullDisjunction(FullDisjunctionAlgorithm):
             for component in components
         ]
 
+        closed = run_partitioned(
+            work,
+            partial(_close_component, self._engine),
+            self.executor,
+            weight=lambda item: len(item[0]),
+        )
         rows: List[RowValues] = []
         prov: List[Provenance] = []
-        if len(work) < self.min_parallel_components or self.max_workers <= 1:
-            for component_rows, component_prov in work:
-                closed_rows, closed_prov = self._engine.close(
-                    component_rows, component_prov, statistics
-                )
-                rows.extend(closed_rows)
-                prov.extend(closed_prov)
-        else:
-            def close_one(item: Tuple[List[RowValues], List[Provenance]]):
-                return self._engine.close(item[0], item[1])
-
-            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-                for closed_rows, closed_prov in pool.map(close_one, work):
-                    rows.extend(closed_rows)
-                    prov.extend(closed_prov)
-            statistics["parallel_workers"] = float(self.max_workers)
+        for closed_rows, closed_prov, closed_statistics in closed:
+            rows.extend(closed_rows)
+            prov.extend(closed_prov)
+            for key, value in closed_statistics.items():
+                statistics[key] = statistics.get(key, 0.0) + value
+        if self.executor.should_parallelise(len(work)):
+            statistics["parallel_workers"] = float(self.executor.max_workers)
+            statistics["parallel_backend_" + self.executor.backend] = 1.0
 
         return Table(self.result_name, union.schema, rows, provenance=prov)

@@ -11,7 +11,7 @@ values the quadratic matrix dominates.  This module replaces it with a
    concepts) to every value; only value pairs sharing at least one key become
    candidates.
 2. **Decompose.**  The candidate-pair graph is split into connected components
-   with :class:`repro.utils.unionfind.UnionFind`.  Values in different
+   with an integer union-find.  Values in different
    components can never be matched to each other, so the global assignment
    decomposes exactly into one independent assignment per component.
 3. **Score in batch.**  Every participating value is embedded once via
@@ -22,19 +22,35 @@ values the quadratic matrix dominates.  This module replaces it with a
    largest matrix ever allocated is the largest component, not the full
    ``|A| × |B|`` cross product; :class:`BlockingStatistics` reports both.
 
+Two executions of step 4 are layered on top of the decomposition:
+
+* **Vectorised singleton batching.**  Components with a single value on
+  either side (1×1, 1×N, N×1 — the overwhelming majority in sparse candidate
+  graphs) have a closed-form optimal assignment: the cheapest candidate cell.
+  All of them are batched into one einsum + grouped-argmin pass that never
+  touches the assignment solver — a hot-path win even single-threaded.
+* **Parallel component solving.**  The remaining general components are
+  independent, so they are scored and solved through
+  :func:`repro.utils.executor.run_partitioned` (serial, thread or process
+  backend, weight-balanced batches).  The merge is positional, so the result
+  is byte-identical to the serial loop for every backend and worker count.
+
 Non-candidate cells inside a component keep a prohibitive cost so the
 semantics stay "each value matched at most once, never above the threshold θ,
 only ever to a blocked candidate".  Blocking trades a small amount of recall
 (pairs with no shared surface key and no shared block are never scored — e.g.
 full-form abbreviations with disjoint surfaces unless the semantic key is
 enabled) for a large reduction in scored pairs; the accompanying ablation
-benchmark quantifies the trade-off and the component-wise speedup.
+benchmarks quantify the trade-off, the component-wise speedup and the
+parallel scaling.
 """
 
 from __future__ import annotations
 
+import threading
+from functools import partial
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -43,14 +59,36 @@ from repro.embeddings.lexicon import SemanticLexicon, default_lexicon
 from repro.matching.assignment import AssignmentSolver, ScipyAssignment
 from repro.matching.bipartite import ValueMatch, split_exact_matches
 from repro.matching.distance import EmbeddingDistance, cosine_distance_matrix
+from repro.utils.executor import ExecutorConfig, run_partitioned
 from repro.utils.text import character_ngrams, normalize_value, tokenize
-from repro.utils.unionfind import UnionFind
 
 #: Cost written into cells the assignment must never select (non-candidate
 #: cells inside a component, and every cell of the legacy dense path that is
 #: not a blocked candidate).  Any value comfortably above the distance range
 #: [0, 1] works; matches at this cost are always rejected by the threshold.
 PROHIBITIVE_COST = 10.0
+
+#: Default frequent-key cap: a blocking key whose smaller posting list
+#: exceeds this is skipped by candidate generation (``None`` disables).
+DEFAULT_FREQUENT_KEY_CAP: Optional[int] = 1000
+
+#: Lazily built lexicon shared by every ValueBlocker that does not bring its
+#: own.  ``default_lexicon()`` rebuilds the whole knowledge base per call;
+#: the engine constructs one matcher (and blocker) per worker thread and
+#: override combination, so sharing the read-only lexicon keeps that cheap.
+_SHARED_DEFAULT_LEXICON: Optional[SemanticLexicon] = None
+_SHARED_DEFAULT_LEXICON_LOCK = threading.Lock()
+
+
+def _shared_default_lexicon() -> SemanticLexicon:
+    global _SHARED_DEFAULT_LEXICON
+    if _SHARED_DEFAULT_LEXICON is None:
+        # Locked: pool threads constructing their first matcher concurrently
+        # must not each rebuild the knowledge base this cache exists to share.
+        with _SHARED_DEFAULT_LEXICON_LOCK:
+            if _SHARED_DEFAULT_LEXICON is None:
+                _SHARED_DEFAULT_LEXICON = default_lexicon()
+    return _SHARED_DEFAULT_LEXICON
 
 
 @dataclass(frozen=True)
@@ -70,6 +108,15 @@ class BlockingStatistics:
     components: int = 0
     largest_component: int = 0
     pairs_scored: int = 0
+    #: Cost-matrix cell count of every component, in component order.  The
+    #: distribution (see :meth:`component_size_histogram`) drives cutoff and
+    #: batching tuning: singleton-dominated graphs favour the vectorised fast
+    #: path, a fat tail favours bigger executor batches.
+    component_cells: Tuple[int, ...] = ()
+    #: Blocking keys dropped by the blocker's ``frequent_key_cap`` — non-zero
+    #: means candidate generation was truncated (a possible recall loss worth
+    #: surfacing when debugging missing matches).
+    skipped_keys: int = 0
 
     @property
     def full_matrix_pairs(self) -> int:
@@ -89,6 +136,33 @@ class BlockingStatistics:
             return 0.0
         return 1.0 - self.candidate_pairs / total
 
+    def component_size_histogram(self) -> Dict[str, int]:
+        """Component counts bucketed by cost-matrix cells (log-ish buckets).
+
+        Keys are ordered from smallest to largest bucket; every bucket is
+        present even when empty so reports line up across column pairs.
+        """
+        counts = {label: 0 for label, _ in COMPONENT_SIZE_BUCKETS}
+        for cells in self.component_cells:
+            for label, upper in COMPONENT_SIZE_BUCKETS:
+                if upper is None or cells <= upper:
+                    counts[label] += 1
+                    break
+        return counts
+
+
+#: Histogram buckets of :meth:`BlockingStatistics.component_size_histogram`:
+#: ``(label, inclusive upper bound on cells)``, ``None`` meaning unbounded.
+COMPONENT_SIZE_BUCKETS: Tuple[Tuple[str, Optional[int]], ...] = (
+    ("1", 1),
+    ("2-4", 4),
+    ("5-16", 16),
+    ("17-64", 64),
+    ("65-256", 256),
+    ("257-1024", 1024),
+    (">1024", None),
+)
+
 
 class ValueBlocker:
     """Assigns surface-key blocks to values.
@@ -99,6 +173,14 @@ class ValueBlocker:
     together), and — optionally — the lexicon concept of the value, which lets
     known abbreviation/synonym pairs share a block even though their surfaces
     are disjoint.
+
+    ``frequent_key_cap`` bounds the *smaller* posting list of one key: a
+    stop-word-like key shared by thousands of values on both sides would
+    alone contribute a quadratic block of candidate pairs (and weld most of
+    the graph into one giant component), so such keys are skipped entirely.
+    One-sided blocks (many left values, few right ones) stay linear and are
+    always kept.  Pairs also sharing a rarer key survive through that key;
+    ``None`` disables the cap.
     """
 
     def __init__(
@@ -108,20 +190,28 @@ class ValueBlocker:
         prefix_length: int = 4,
         use_lexicon: bool = True,
         lexicon: Optional[SemanticLexicon] = None,
+        frequent_key_cap: Optional[int] = DEFAULT_FREQUENT_KEY_CAP,
     ) -> None:
+        if frequent_key_cap is not None and frequent_key_cap < 1:
+            raise ValueError(f"frequent_key_cap must be >= 1 or None, got {frequent_key_cap}")
         self.ngram_size = ngram_size
         self.max_ngrams = max_ngrams
         self.prefix_length = prefix_length
         self.use_lexicon = use_lexicon
-        self.lexicon = lexicon if lexicon is not None else (default_lexicon() if use_lexicon else None)
+        self.lexicon = lexicon if lexicon is not None else (
+            _shared_default_lexicon() if use_lexicon else None
+        )
+        self.frequent_key_cap = frequent_key_cap
+        #: Keys skipped by the frequent-key cap in the last candidate pass.
+        self.last_skipped_keys = 0
 
     def keys(self, value: object) -> Set[str]:
         """The blocking keys of one value."""
         normalised = normalize_value(value)
         keys: Set[str] = set()
-        for token in tokenize(normalised):
+        for token in tokenize(normalised, normalized=True):
             keys.add(f"p:{token[: self.prefix_length]}")
-        grams = character_ngrams(normalised, n=self.ngram_size)
+        grams = character_ngrams(normalised, n=self.ngram_size, normalized=True)
         for gram in self._sample_evenly(grams):
             keys.add(f"g:{gram}")
         if self.use_lexicon and self.lexicon is not None:
@@ -144,24 +234,112 @@ class ValueBlocker:
             return grams
         if self.max_ngrams == 1:
             return [grams[0]]
+        # Same float round() selection as always (changing it would silently
+        # change blocking keys); the hot-path win is dropping the set + sort
+        # — positions are non-decreasing, so deduping against the previous
+        # position suffices.
         step = (len(grams) - 1) / (self.max_ngrams - 1)
-        positions = sorted({round(index * step) for index in range(self.max_ngrams)})
-        return [grams[position] for position in positions]
+        sampled: List[str] = []
+        previous = -1
+        for index in range(self.max_ngrams):
+            position = round(index * step)
+            if position != previous:
+                sampled.append(grams[position])
+                previous = position
+        return sampled
+
+    def iter_candidate_pairs(
+        self, left_values: Sequence[object], right_values: Sequence[object]
+    ) -> Iterator[Tuple[int, int]]:
+        """Stream distinct candidate pairs block by block (deterministic order).
+
+        Blocks are visited in sorted key order and pairs within a block in
+        position order, deduplicated on the fly.  The memory bound comes
+        from the ``frequent_key_cap``: a capped (stop-word-like) key never
+        materialises its quadratic pair block at all.  Note the dedup set
+        still grows with the number of *emitted* pairs — a consumer that
+        stops early saves work, but the generator is not constant-memory.
+        Indexing and the cap run eagerly, so :attr:`last_skipped_keys` is
+        accurate as soon as this returns (not once the generator drains).
+        """
+        left_index: Dict[str, List[int]] = {}
+        for left_position, value in enumerate(left_values):
+            for key in self.keys(value):
+                left_index.setdefault(key, []).append(left_position)
+        right_index: Dict[str, List[int]] = {}
+        for right_position, value in enumerate(right_values):
+            for key in self.keys(value):
+                right_index.setdefault(key, []).append(right_position)
+
+        cap = self.frequent_key_cap
+        skipped = 0
+        blocks: List[Tuple[List[int], List[int]]] = []
+        for key in sorted(left_index):
+            right_positions = right_index.get(key)
+            if not right_positions:
+                continue
+            left_positions = left_index[key]
+            # Quadratic blowup needs *both* sides of a key to be populous; a
+            # 10000×1 block is linear and may carry a value's only candidates,
+            # so the cap compares the smaller posting list.
+            if cap is not None and min(len(left_positions), len(right_positions)) > cap:
+                skipped += 1
+                continue
+            blocks.append((left_positions, right_positions))
+        self.last_skipped_keys = skipped
+        return self._generate_block_pairs(blocks)
+
+    @staticmethod
+    def _generate_block_pairs(
+        blocks: Sequence[Tuple[List[int], List[int]]],
+    ) -> Iterator[Tuple[int, int]]:
+        """Yield the deduplicated pairs of the kept blocks, block by block."""
+        seen: Set[Tuple[int, int]] = set()
+        for left_positions, right_positions in blocks:
+            for left_position in left_positions:
+                for right_position in right_positions:
+                    pair = (left_position, right_position)
+                    if pair not in seen:
+                        seen.add(pair)
+                        yield pair
 
     def candidate_pairs(
         self, left_values: Sequence[object], right_values: Sequence[object]
     ) -> List[Tuple[int, int]]:
         """Index pairs (into left/right) sharing at least one blocking key."""
-        right_index: Dict[str, List[int]] = {}
-        for right_position, value in enumerate(right_values):
-            for key in self.keys(value):
-                right_index.setdefault(key, []).append(right_position)
-        pairs: Set[Tuple[int, int]] = set()
-        for left_position, value in enumerate(left_values):
-            for key in self.keys(value):
-                for right_position in right_index.get(key, ()):
-                    pairs.add((left_position, right_position))
-        return sorted(pairs)
+        return sorted(self.iter_candidate_pairs(left_values, right_values))
+
+
+def _score_and_solve_component(
+    payload: Tuple[np.ndarray, np.ndarray, Optional[np.ndarray], Optional[np.ndarray]],
+    solver: AssignmentSolver,
+    threshold: float,
+) -> List[Tuple[int, int, float]]:
+    """Score and solve one general component; the executor's work unit.
+
+    ``payload`` is ``(left_block, right_block, pair_rows, pair_cols)``: the
+    component's embedding rows plus the component-local coordinates of its
+    candidate cells (``None`` when the component is complete).  Module-level
+    (and fed picklable arguments) so the process backend can ship it.
+    Returns accepted ``(row, column, distance)`` triples in solver order.
+    """
+    left_block, right_block, pair_rows, pair_cols = payload
+    cost = cosine_distance_matrix(left_block, right_block)
+    if pair_rows is not None:
+        # Values connected only transitively are not candidates of each
+        # other; keep them unmatchable.
+        allowed = np.zeros(cost.shape, dtype=bool)
+        allowed[pair_rows, pair_cols] = True
+        cost = np.where(allowed, cost, PROHIBITIVE_COST)
+    # A 1×1 component has exactly one possible assignment; skip the solver
+    # round-trip (only reached when singleton batching is disabled).
+    assignment = [(0, 0)] if cost.shape == (1, 1) else solver.solve(cost)
+    accepted: List[Tuple[int, int, float]] = []
+    for row, column in assignment:
+        pair_distance = float(cost[row, column])
+        if pair_distance < threshold:
+            accepted.append((row, column, pair_distance))
+    return accepted
 
 
 class BlockedValueMatcher:
@@ -173,6 +351,12 @@ class BlockedValueMatcher:
     uses the component-wise engine described in the module docstring;
     ``match_dense`` keeps the legacy single-matrix prohibitive-cost path for
     cross-validation and the ablation benchmark.
+
+    ``executor`` distributes the general (≥2×≥2) components over a worker
+    pool; the default runs serially.  ``singleton_batching`` routes 1×1 / 1×N
+    / N×1 components through one vectorised argmin pass instead of individual
+    solver calls; disabling it exists only so the ablation benchmark can
+    measure what the fast path saves.  Neither knob changes the matches.
     """
 
     def __init__(
@@ -181,6 +365,8 @@ class BlockedValueMatcher:
         threshold: float = 0.7,
         solver: Optional[AssignmentSolver] = None,
         blocker: Optional[ValueBlocker] = None,
+        executor: Optional[ExecutorConfig] = None,
+        singleton_batching: bool = True,
     ) -> None:
         if not 0.0 < threshold <= 1.0:
             raise ValueError(f"threshold must be in (0, 1], got {threshold}")
@@ -189,12 +375,20 @@ class BlockedValueMatcher:
         self.threshold = threshold
         self.solver = solver if solver is not None else ScipyAssignment()
         self.blocker = blocker if blocker is not None else ValueBlocker()
+        self.executor = executor if executor is not None else ExecutorConfig()
+        self.singleton_batching = singleton_batching
         self.last_statistics: Optional[BlockingStatistics] = None
 
     def match(
         self, left_values: Sequence[object], right_values: Sequence[object]
     ) -> List[ValueMatch]:
-        """Match the two value lists, one small assignment per component."""
+        """Match the two value lists, one small assignment per component.
+
+        Singleton-sided components are solved in one vectorised batch; the
+        general components go through the configured executor.  Both paths
+        merge deterministically, so every backend/worker-count combination
+        returns exactly what the serial loop returns.
+        """
         candidates = self._candidates_or_none(left_values, right_values)
         if candidates is None:
             return []
@@ -208,50 +402,146 @@ class BlockedValueMatcher:
         right_vectors = self.embedder.embed_many([right_values[index] for index in right_used])
         left_row = {index: row for row, index in enumerate(left_used)}
         right_row = {index: row for row, index in enumerate(right_used)}
+        left_used_array = np.asarray(left_used, dtype=np.int64)
+        right_used_array = np.asarray(right_used, dtype=np.int64)
+
+        component_cells = tuple(
+            len(component_left) * len(component_right)
+            for component_left, component_right, _ in components
+        )
+        if self.singleton_batching:
+            trivial = [
+                component
+                for component in components
+                if len(component[0]) == 1 or len(component[1]) == 1
+            ]
+            general = [
+                component
+                for component in components
+                if len(component[0]) > 1 and len(component[1]) > 1
+            ]
+        else:
+            trivial = []
+            general = components
 
         matches: List[ValueMatch] = []
-        pairs_scored = 0
-        largest_component = 0
-        for component_left, component_right, component_pairs in components:
-            cells = len(component_left) * len(component_right)
-            pairs_scored += cells
-            largest_component = max(largest_component, cells)
-            cost = cosine_distance_matrix(
-                left_vectors[[left_row[index] for index in component_left], :],
-                right_vectors[[right_row[index] for index in component_right], :],
+        matches.extend(
+            self._match_trivial_batched(
+                trivial,
+                left_values,
+                right_values,
+                left_vectors,
+                right_vectors,
+                left_used_array,
+                right_used_array,
             )
-            if len(component_pairs) < cells:
-                # Values connected only transitively are not candidates of
-                # each other; keep them unmatchable.
-                row_of = {index: row for row, index in enumerate(component_left)}
-                column_of = {index: column for column, index in enumerate(component_right)}
-                allowed = np.zeros(cost.shape, dtype=bool)
-                for left_index, right_index in component_pairs:
-                    allowed[row_of[left_index], column_of[right_index]] = True
-                cost = np.where(allowed, cost, PROHIBITIVE_COST)
-            # A 1×1 component has exactly one possible assignment; skip the
-            # solver round-trip (singleton components dominate sparse graphs).
-            assignment = [(0, 0)] if cost.shape == (1, 1) else self.solver.solve(cost)
-            for row, column in assignment:
-                pair_distance = float(cost[row, column])
-                if pair_distance < self.threshold:
-                    matches.append(
-                        ValueMatch(
-                            left=left_values[component_left[row]],
-                            right=right_values[component_right[column]],
-                            distance=pair_distance,
-                        )
+        )
+
+        payloads = []
+        for component_left, component_right, component_pairs in general:
+            left_block = left_vectors[[left_row[index] for index in component_left], :]
+            right_block = right_vectors[[right_row[index] for index in component_right], :]
+            if len(component_pairs) < len(component_left) * len(component_right):
+                pair_array = np.asarray(component_pairs, dtype=np.int64)
+                # Component index lists are sorted, so the component-local
+                # coordinates of each candidate cell are a binary search away.
+                pair_rows = np.searchsorted(
+                    np.asarray(component_left, dtype=np.int64), pair_array[:, 0]
+                )
+                pair_cols = np.searchsorted(
+                    np.asarray(component_right, dtype=np.int64), pair_array[:, 1]
+                )
+            else:
+                pair_rows = pair_cols = None
+            payloads.append((left_block, right_block, pair_rows, pair_cols))
+        solved = run_partitioned(
+            payloads,
+            partial(_score_and_solve_component, solver=self.solver, threshold=self.threshold),
+            self.executor,
+            weight=lambda payload: payload[0].shape[0] * payload[1].shape[0],
+        )
+        for (component_left, component_right, _), accepted in zip(general, solved):
+            for row, column, pair_distance in accepted:
+                matches.append(
+                    ValueMatch(
+                        left=left_values[component_left[row]],
+                        right=right_values[component_right[column]],
+                        distance=pair_distance,
                     )
+                )
+
         self.last_statistics = BlockingStatistics(
             left_values=len(left_values),
             right_values=len(right_values),
             candidate_pairs=len(candidates),
             components=len(components),
-            largest_component=largest_component,
-            pairs_scored=pairs_scored,
+            largest_component=max(component_cells, default=0),
+            pairs_scored=sum(component_cells),
+            component_cells=component_cells,
+            skipped_keys=self.blocker.last_skipped_keys,
         )
         matches.sort(key=lambda match: (match.distance, str(match.left), str(match.right)))
         return matches
+
+    def _match_trivial_batched(
+        self,
+        trivial: Sequence[Tuple[List[int], List[int], List[Tuple[int, int]]]],
+        left_values: Sequence[object],
+        right_values: Sequence[object],
+        left_vectors: np.ndarray,
+        right_vectors: np.ndarray,
+        left_used_array: np.ndarray,
+        right_used_array: np.ndarray,
+    ) -> List[ValueMatch]:
+        """One vectorised pass over every 1×1 / 1×N / N×1 component.
+
+        A component with a single value on one side is a star graph: every
+        cell is a candidate (each edge touches the hub), and the optimal
+        assignment is simply its cheapest cell.  So instead of one cost
+        matrix + solver call per component, score *all* their candidate cells
+        with a single einsum and pick each component's winner with one grouped
+        (stable, therefore deterministic) argmin.
+        """
+        if not trivial:
+            return []
+        pair_left: List[int] = []
+        pair_right: List[int] = []
+        group_ids: List[int] = []
+        for group, (_, _, component_pairs) in enumerate(trivial):
+            for left_index, right_index in component_pairs:
+                pair_left.append(left_index)
+                pair_right.append(right_index)
+                group_ids.append(group)
+        left_indices = np.asarray(pair_left, dtype=np.int64)
+        right_indices = np.asarray(pair_right, dtype=np.int64)
+        groups = np.asarray(group_ids, dtype=np.int64)
+        # The used-index arrays are sorted, so original index -> embedding row
+        # is one vectorised binary search (no per-pair dict lookups).
+        distances = np.clip(
+            1.0
+            - np.einsum(
+                "ij,ij->i",
+                left_vectors[np.searchsorted(left_used_array, left_indices), :],
+                right_vectors[np.searchsorted(right_used_array, right_indices), :],
+            ),
+            0.0,
+            1.0,
+        )
+        # Stable sort by (group, distance): the first row of each group is its
+        # cheapest cell, ties resolved by candidate order — deterministic.
+        order = np.lexsort((distances, groups))
+        is_first = np.ones(len(order), dtype=bool)
+        is_first[1:] = groups[order][1:] != groups[order][:-1]
+        winners = order[is_first]
+        winners = winners[distances[winners] < self.threshold]
+        return [
+            ValueMatch(
+                left=left_values[int(left_indices[winner])],
+                right=right_values[int(right_indices[winner])],
+                distance=float(distances[winner]),
+            )
+            for winner in winners
+        ]
 
     def match_dense(
         self, left_values: Sequence[object], right_values: Sequence[object]
@@ -282,6 +572,8 @@ class BlockedValueMatcher:
             components=1,
             largest_component=len(left_used) * len(right_used),
             pairs_scored=len(candidates),
+            component_cells=(len(left_used) * len(right_used),),
+            skipped_keys=self.blocker.last_skipped_keys,
         )
         matches: List[ValueMatch] = []
         for row, column in self.solver.solve(cost):
@@ -318,8 +610,13 @@ class BlockedValueMatcher:
             return None
         candidates = self.blocker.candidate_pairs(left_values, right_values)
         if not candidates:
+            # skipped_keys matters most here: an all-capped key set is
+            # indistinguishable from "nothing blocks together" without it.
             self.last_statistics = BlockingStatistics(
-                len(left_values), len(right_values), 0
+                len(left_values),
+                len(right_values),
+                0,
+                skipped_keys=self.blocker.last_skipped_keys,
             )
             return None
         return candidates
@@ -332,14 +629,31 @@ class BlockedValueMatcher:
 
         Returns ``(left_indices, right_indices, pairs)`` per component, in a
         deterministic order (first appearance of the component's earliest
-        pair).
+        pair).  Uses an inline integer union-find (left node ``i``, right node
+        ``n_left + j``) — the generic :class:`~repro.utils.unionfind.UnionFind`
+        hashes a tuple key per operation, which dominates this hot path on
+        graphs with tens of thousands of candidate pairs.
         """
-        union_find = UnionFind()
+        n_left = 1 + max(left_index for left_index, _ in candidates)
+        n_right = 1 + max(right_index for _, right_index in candidates)
+        parent = list(range(n_left + n_right))
+
+        def find(node: int) -> int:
+            root = node
+            while parent[root] != root:
+                root = parent[root]
+            while parent[node] != root:  # path compression
+                parent[node], node = root, parent[node]
+            return root
+
         for left_index, right_index in candidates:
-            union_find.union(("L", left_index), ("R", right_index))
-        pairs_by_root: Dict[object, List[Tuple[int, int]]] = {}
+            left_root = find(left_index)
+            right_root = find(n_left + right_index)
+            if left_root != right_root:
+                parent[right_root] = left_root
+        pairs_by_root: Dict[int, List[Tuple[int, int]]] = {}
         for left_index, right_index in candidates:
-            pairs_by_root.setdefault(union_find.find(("L", left_index)), []).append(
+            pairs_by_root.setdefault(find(left_index), []).append(
                 (left_index, right_index)
             )
         components: List[Tuple[List[int], List[int], List[Tuple[int, int]]]] = []

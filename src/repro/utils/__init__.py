@@ -3,9 +3,18 @@
 The utilities here are intentionally dependency-light: text normalisation and
 string-distance helpers, a union-find (disjoint-set) structure used by value
 and entity clustering, deterministic hashing used by the simulated embedding
-models, and small timing helpers used by the benchmark harnesses.
+models, small timing helpers used by the benchmark harnesses, and the shared
+parallel execution layer (:class:`~repro.utils.executor.ExecutorConfig` +
+:func:`~repro.utils.executor.run_partitioned`) behind every worker pool in
+the pipeline.
 """
 
+from repro.utils.executor import (
+    EXECUTOR_BACKENDS,
+    ExecutorConfig,
+    partition_batches,
+    run_partitioned,
+)
 from repro.utils.hashing import stable_hash, stable_hash_floats
 from repro.utils.text import (
     character_ngrams,
@@ -19,6 +28,10 @@ from repro.utils.timer import Timer, timed
 from repro.utils.unionfind import UnionFind
 
 __all__ = [
+    "EXECUTOR_BACKENDS",
+    "ExecutorConfig",
+    "partition_batches",
+    "run_partitioned",
     "UnionFind",
     "Timer",
     "timed",

@@ -86,3 +86,23 @@ class TestAblationHarnesses:
         assert scale["component_peak_matrix"] <= scale["dense_peak_matrix"]
         assert scale["components"] > 1.0
         assert module.scale_report(scale)
+
+
+class TestParallelAblationHarness:
+    def test_small_run_produces_identical_matches_everywhere(self, tmp_path):
+        module = _load("bench_ablation_parallel")
+        payload = module.run_all(n_values=150, group_size=4, n_requests=2)
+        assert payload["singleton_fastpath"]["identical_matches"] == 1.0
+        assert payload["end_to_end"]["identical_matches"]
+        assert all(run["identical_matches"] for run in payload["worker_scaling"]["runs"])
+        assert payload["engine_pool"]["identical_results"] == 1.0
+        assert module.report(payload)
+        written = module.write_json(payload, str(tmp_path / "BENCH_parallel.json"))
+        assert written.exists()
+
+    def test_workloads_are_deterministic(self):
+        module = _load("bench_ablation_parallel")
+        assert module.singleton_workload(50) == module.singleton_workload(50)
+        assert module.component_workload(48) == module.component_workload(48)
+        left, right = module.mixed_workload(60)
+        assert len(left) == len(right) == 60

@@ -27,6 +27,20 @@ class TestParser:
         assert args.embedder == "mistral"
         assert args.threshold == 0.7
         assert not args.regular
+        assert args.max_workers == 1
+        assert args.parallel_backend == "thread"
+
+    def test_workers_flag(self):
+        args = build_parser().parse_args(
+            ["integrate", "somewhere.csv", "--workers", "4", "--parallel-backend", "process"]
+        )
+        assert args.max_workers == 4
+        assert args.parallel_backend == "process"
+        assert {"max_workers", "parallel_backend"} <= args._explicit
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["integrate", "x.csv", "--parallel-backend", "gpu"])
 
     def test_benchmark_choices(self):
         with pytest.raises(SystemExit):
@@ -63,6 +77,26 @@ class TestIntegrateCommand:
         bogus.write_text("not a csv")
         with pytest.raises(SystemExit):
             main(["integrate", str(bogus)])
+
+    def test_workers_flag_runs_parallel_integration(self, lake, tmp_path, capsys):
+        directory, _ = lake
+        output = tmp_path / "parallel.csv"
+        exit_code = main(
+            [
+                "integrate",
+                str(directory),
+                "--workers",
+                "2",
+                "--blocking",
+                "on",
+                "--output",
+                str(output),
+            ]
+        )
+        assert exit_code == 0
+        serial_output = tmp_path / "serial.csv"
+        assert main(["integrate", str(directory), "--output", str(serial_output), "--blocking", "on"]) == 0
+        assert read_csv(output).same_rows(read_csv(serial_output))
 
 
 class TestConfigFlags:

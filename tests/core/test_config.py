@@ -49,6 +49,45 @@ class TestEagerValidation:
         # the original is untouched
         assert config.threshold == 0.7
 
+    def test_invalid_max_workers(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            FuzzyFDConfig(max_workers=0)
+
+    def test_blocking_key_cap_validated_and_serialised(self):
+        with pytest.raises(ValueError, match="blocking_key_cap"):
+            FuzzyFDConfig(blocking_key_cap=0)
+        config = FuzzyFDConfig(blocking_key_cap=None)  # cap disabled
+        assert FuzzyFDConfig.from_dict(config.to_dict()) == config
+        assert FuzzyFDConfig().blocking_key_cap == 1000
+
+    def test_invalid_parallel_backend_lists_valid_names(self):
+        with pytest.raises(ValueError) as excinfo:
+            FuzzyFDConfig(parallel_backend="gpu")
+        assert "thread" in str(excinfo.value)
+
+    def test_parallel_knobs_serialise_and_round_trip(self):
+        config = FuzzyFDConfig(max_workers=4, parallel_backend="process")
+        data = config.to_dict()
+        assert data["max_workers"] == 4
+        assert data["parallel_backend"] == "process"
+        assert FuzzyFDConfig.from_dict(data) == config
+
+    def test_executor_config_reflects_knobs(self):
+        executor = FuzzyFDConfig(max_workers=3, parallel_backend="thread").executor_config()
+        assert executor.backend == "thread"
+        assert executor.max_workers == 3
+
+    def test_partitioned_fd_resolved_by_name_inherits_executor(self):
+        config = FuzzyFDConfig(fd_algorithm="partitioned", max_workers=5)
+        assert config.resolve_fd_algorithm().executor.max_workers == 5
+
+    def test_fd_instance_keeps_its_own_executor(self):
+        from repro.fd import PartitionedFullDisjunction
+
+        algorithm = PartitionedFullDisjunction(max_workers=2)
+        config = FuzzyFDConfig(fd_algorithm=algorithm, max_workers=7)
+        assert config.resolve_fd_algorithm().executor.max_workers == 2
+
 
 class TestSerialisation:
     def test_round_trip_equality(self):
@@ -147,6 +186,12 @@ class TestPresets:
         assert config.blocking == "auto"
         # the paper's models are kept
         assert config.embedder == "mistral"
+
+    def test_scale_preset_turns_parallelism_on(self):
+        config = FuzzyFDConfig.preset("scale")
+        assert config.max_workers == 4
+        assert config.parallel_backend == "thread"
+        assert config.executor_config().is_parallel
 
     def test_unknown_preset_lists_names(self):
         with pytest.raises(ValueError) as excinfo:

@@ -149,11 +149,144 @@ class TestPerRequestOverrides:
         assert result.value_matching == {}
         assert "value_matching_seconds" not in result.timings
 
+    def test_matching_overrides_rejected_with_fuzzy_false(self, covid_tables):
+        # fuzzy=False skips the matching stage; silently ignoring its knobs
+        # would make a threshold sweep over the regular baseline meaningless.
+        engine = IntegrationEngine()
+        with pytest.raises(TypeError, match="no effect with fuzzy=False"):
+            engine.integrate(covid_tables, fuzzy=False, threshold=0.3)
+        # Executor knobs still steer the FD stage, so they stay legal.
+        result = engine.integrate(covid_tables, fuzzy=False, max_workers=2)
+        assert result.value_matching == {}
+
+    def test_match_stage_rejects_fuzzy_false_and_alignment(self, covid_tables):
+        from repro.schema_matching import ColumnAlignment
+
+        engine = IntegrationEngine()
+        matched = engine.match(engine.align(covid_tables))
+        with pytest.raises(TypeError, match="MatchStage"):
+            engine.integrate(matched, fuzzy=False)
+        with pytest.raises(TypeError, match="MatchStage"):
+            engine.integrate(matched, alignment=ColumnAlignment.from_named_columns(covid_tables))
+
+    def test_match_stage_still_accepts_executor_knobs(self, covid_tables):
+        # Only the FD stage remains, and that is exactly what these steer.
+        engine = IntegrationEngine()
+        matched = engine.match(engine.align(covid_tables))
+        pooled = engine.integrate(matched, max_workers=4, fd_algorithm="partitioned")
+        plain = engine.integrate(engine.match(engine.align(covid_tables)))
+        assert pooled.table.same_rows(plain.table)
+
+    def test_alignment_stage_rejects_alignment_arguments(self, covid_tables):
+        from repro.schema_matching import ColumnAlignment
+
+        engine = IntegrationEngine()
+        aligned = engine.align(covid_tables)
+        with pytest.raises(TypeError, match="AlignmentStage"):
+            engine.integrate(aligned, alignment_strategy="holistic")
+        with pytest.raises(TypeError, match="AlignmentStage"):
+            engine.integrate(aligned, alignment=ColumnAlignment.from_named_columns(covid_tables))
+
     def test_requests_served_counter(self, covid_tables):
         engine = IntegrationEngine()
         engine.integrate(covid_tables)
         engine.integrate(covid_tables, threshold=0.8)
         assert engine.requests_served == 2
+
+
+class TestIntegrateMany:
+    def test_results_identical_to_sequential_loop(self, covid_tables):
+        engine = IntegrationEngine()
+        sequential = [engine.integrate(covid_tables) for _ in range(4)]
+        pooled = IntegrationEngine().integrate_many(
+            [covid_tables] * 4, max_workers=4
+        )
+        assert len(pooled) == 4
+        for serial_result, pooled_result in zip(sequential, pooled):
+            assert serial_result.table.same_rows(pooled_result.table)
+
+    def test_results_in_request_order(self, covid_tables):
+        engine = IntegrationEngine()
+        requests = [covid_tables[:2], covid_tables, covid_tables[1:]]
+        results = engine.integrate_many(requests, max_workers=3)
+        expected = [IntegrationEngine().integrate(request) for request in requests]
+        for got, want in zip(results, expected):
+            assert got.table.same_rows(want.table)
+
+    def test_requests_served_counter_is_exact(self, covid_tables):
+        engine = IntegrationEngine()
+        engine.integrate_many([covid_tables] * 5, max_workers=4)
+        assert engine.requests_served == 5
+
+    def test_blocking_key_cap_none_override_disables_cap(self, covid_tables):
+        # None is a meaningful value for this knob (cap disabled), so the
+        # usual "None means not provided" filter must not swallow it.
+        engine = IntegrationEngine()
+        effective = engine._effective_config({"blocking_key_cap": None})
+        assert effective.blocking_key_cap is None
+        assert engine._effective_config({"threshold": None}) is engine.config
+
+    def test_shared_overrides_apply_to_every_request(self, covid_tables):
+        engine = IntegrationEngine()
+        strict = engine.integrate_many([covid_tables] * 2, max_workers=2, threshold=0.05)
+        loose = engine.integrate_many([covid_tables] * 2, max_workers=2, threshold=0.7)
+        assert strict[0].rewrites_applied() < loose[0].rewrites_applied()
+
+    def test_worker_default_comes_from_config(self, covid_tables):
+        engine = IntegrationEngine(FuzzyFDConfig(max_workers=2))
+        results = engine.integrate_many([covid_tables] * 2)
+        assert len(results) == 2
+
+    def test_invalid_worker_count_rejected(self, covid_tables):
+        engine = IntegrationEngine()
+        with pytest.raises(ValueError):
+            engine.integrate_many([covid_tables], max_workers=0)
+
+    def test_invalid_override_rejected(self, covid_tables):
+        engine = IntegrationEngine()
+        with pytest.raises(TypeError):
+            engine.integrate_many([covid_tables], max_workers=2, thresold=0.5)
+
+    def test_cache_warm_across_pooled_requests(self, covid_tables):
+        embedder = CountingMistralEmbedder()
+        engine = IntegrationEngine(FuzzyFDConfig(embedder=embedder))
+        engine.integrate(covid_tables)
+        calls_after_first = embedder.embed_calls
+        engine.integrate_many([covid_tables] * 4, max_workers=4)
+        assert embedder.embed_calls == calls_after_first
+
+
+class TestParallelConfigKnobs:
+    def test_max_workers_is_a_per_request_override(self, covid_tables):
+        engine = IntegrationEngine()
+        serial = engine.integrate(covid_tables)
+        pooled = engine.integrate(
+            covid_tables, max_workers=4, parallel_backend="thread", blocking="on"
+        )
+        assert serial.table.same_rows(pooled.table)
+        assert engine.config.max_workers == 1  # engine config untouched
+
+    def test_partitioned_fd_inherits_engine_executor(self):
+        engine = IntegrationEngine(FuzzyFDConfig(fd_algorithm="partitioned", max_workers=3))
+        assert engine.fd_algorithm.executor.max_workers == 3
+
+    def test_fd_override_by_name_inherits_executor(self, covid_tables):
+        engine = IntegrationEngine(FuzzyFDConfig(max_workers=2, parallel_backend="thread"))
+        result = engine.integrate(covid_tables, fd_algorithm="partitioned")
+        assert result.fd_result.algorithm == "partitioned"
+
+    def test_request_executor_override_reaches_fd_stage(self):
+        # 10 disjoint join keys -> 10 FD components, enough to engage a pool.
+        left = Table("L", ["k", "a"], [(f"k{i}", f"a{i}") for i in range(10)])
+        right = Table("R", ["k", "b"], [(f"k{i}", f"b{i}") for i in range(10)])
+        engine = IntegrationEngine(FuzzyFDConfig(fd_algorithm="partitioned"))
+        default = engine.integrate([left, right])
+        assert "parallel_workers" not in default.fd_result.statistics
+        pooled = engine.integrate([left, right], max_workers=4)
+        assert pooled.fd_result.statistics.get("parallel_workers") == 4.0
+        assert pooled.table.same_rows(default.table)
+        # The shared engine instance was never mutated by the override.
+        assert engine.fd_algorithm.executor.max_workers == 1
 
 
 class TestWarmEmbeddingCache:

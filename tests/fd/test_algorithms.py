@@ -52,6 +52,35 @@ class TestRegistry:
             get_algorithm("nope")
 
 
+class TestPartitionedStatistics:
+    def _disjoint_tables(self, n_components=10):
+        left = Table("L", ["k", "a"], [(f"k{i}", f"a{i}") for i in range(n_components)])
+        right = Table("R", ["k", "b"], [(f"k{i}", f"b{i}") for i in range(n_components)])
+        return [left, right]
+
+    def test_complementation_statistics_recorded(self):
+        # Regression: the executor refactor must keep summing the closure
+        # counters (the old parallel branch silently dropped them).
+        result = PartitionedFullDisjunction().integrate(self._disjoint_tables())
+        assert result.statistics["components"] == 10.0
+        assert "complementation_comparisons" in result.statistics
+        assert result.statistics["complementation_tuples"] >= 10.0
+
+    def test_statistics_identical_serial_vs_parallel(self):
+        tables = self._disjoint_tables()
+        serial = PartitionedFullDisjunction(max_workers=1).integrate(tables)
+        parallel = PartitionedFullDisjunction(max_workers=4).integrate(tables)
+        assert parallel.table.same_rows(serial.table)
+        for key, value in serial.statistics.items():
+            if key.endswith("_seconds") or key.startswith("parallel"):
+                continue
+            assert parallel.statistics[key] == value
+
+    def test_parallel_workers_recorded_when_pool_engages(self):
+        result = PartitionedFullDisjunction(max_workers=4).integrate(self._disjoint_tables())
+        assert result.statistics.get("parallel_workers") == 4.0
+
+
 class TestBasicBehaviour:
     @pytest.mark.parametrize("algorithm_cls", ALL_ALGORITHMS)
     def test_single_table_is_returned_unchanged(self, algorithm_cls):
