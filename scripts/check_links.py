@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Fail on dead *relative* links in markdown documentation.
+
+Scans the markdown files given on the command line (directories are searched
+recursively for ``*.md``) for inline links and images, resolves every
+relative target against the containing file, and exits non-zero listing the
+targets that do not exist on disk.  External links (``http(s)://``,
+``mailto:``) and pure in-page anchors (``#section``) are ignored — this
+checker guards the repo's internal cross-references (``docs/`` ↔ ``README``
+↔ source pointers), which silently rot when files move.
+
+Usage (what CI runs)::
+
+    python scripts/check_links.py README.md docs
+
+Stdlib-only on purpose: the checker must run in the bare CI interpreter.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+#: Inline markdown links/images: ``[text](target)`` / ``![alt](target)``.
+#: The target group stops at the first closing parenthesis or whitespace
+#: (titles like ``(file.md "tooltip")`` keep only the path part).
+LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Target prefixes that are not filesystem paths.
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_markdown_files(arguments: Iterable[str]) -> List[Path]:
+    """Expand the CLI arguments into a sorted list of markdown files."""
+    files: List[Path] = []
+    for argument in arguments:
+        path = Path(argument)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.suffix.lower() == ".md":
+            files.append(path)
+        else:
+            raise SystemExit(f"error: {path} is neither a markdown file nor a directory")
+    return files
+
+
+def dead_links(markdown_file: Path) -> List[Tuple[str, str]]:
+    """``(raw target, reason)`` for every broken relative link in one file."""
+    broken: List[Tuple[str, str]] = []
+    text = markdown_file.read_text(encoding="utf-8")
+    for match in LINK_PATTERN.finditer(text):
+        target = match.group(1)
+        if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+            continue
+        # Strip an in-page anchor from a file target (docs/x.md#section).
+        path_part = target.split("#", 1)[0]
+        if not path_part:
+            continue
+        resolved = (markdown_file.parent / path_part).resolve()
+        if not resolved.exists():
+            broken.append((target, f"resolves to missing {resolved}"))
+    return broken
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        raise SystemExit("usage: check_links.py FILE_OR_DIR [FILE_OR_DIR ...]")
+    files = iter_markdown_files(argv)
+    if not files:
+        raise SystemExit("error: no markdown files found")
+    failures = 0
+    checked = 0
+    for markdown_file in files:
+        checked += 1
+        for target, reason in dead_links(markdown_file):
+            failures += 1
+            print(f"{markdown_file}: dead link '{target}' ({reason})")
+    if failures:
+        print(f"\n{failures} dead link(s) across {checked} file(s)")
+        return 1
+    print(f"ok: {checked} markdown file(s), no dead relative links")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

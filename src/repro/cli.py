@@ -103,6 +103,8 @@ _INTEGRATE_CONFIG_FLAGS = (
     "fd_algorithm",
     "alignment",
     "blocking",
+    "semantic_blocking",
+    "ann_top_k",
     "max_workers",
     "parallel_backend",
 )
@@ -164,9 +166,16 @@ def cmd_match(args: argparse.Namespace) -> int:
             columns.append(ColumnValues((table.name, column), values))
     if len(columns) < 2:
         raise SystemExit("error: need at least two non-empty columns to match")
-    matcher = ValueMatcher(
-        get_embedder(args.embedder), threshold=args.threshold, blocking=args.blocking
-    )
+    try:
+        matcher = ValueMatcher(
+            get_embedder(args.embedder),
+            threshold=args.threshold,
+            blocking=args.blocking,
+            semantic_blocking=args.semantic_blocking,
+            ann_top_k=args.ann_top_k,
+        )
+    except ValueError as error:
+        raise SystemExit(f"error: {error}") from None
     result = matcher.match_columns(columns)
     multi = [match_set for match_set in result.sets if len(match_set) > 1]
     print(f"{len(result.sets)} value sets ({len(multi)} with fuzzy matches):")
@@ -267,6 +276,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="route wide column pairs through the component-wise blocked matcher",
     )
     integrate_parser.add_argument(
+        "--semantic-blocking",
+        dest="semantic_blocking",
+        default="off",
+        choices=["off", "on", "auto"],
+        action=_TrackedStore,
+        help="ANN candidate channel of the blocked matcher: union embedding-nearest "
+        "pairs with the surface-key candidates (on = always, auto = only when "
+        "surface keys leave values uncovered; requires --blocking on/auto for 'on')",
+    )
+    integrate_parser.add_argument(
+        "--ann-top-k",
+        dest="ann_top_k",
+        type=int,
+        default=5,
+        action=_TrackedStore,
+        help="candidate pairs the semantic channel emits per probing value",
+    )
+    integrate_parser.add_argument(
         "--workers",
         dest="max_workers",
         type=int,
@@ -299,6 +326,20 @@ def build_parser() -> argparse.ArgumentParser:
         default="off",
         choices=["off", "on", "auto"],
         help="route wide column pairs through the component-wise blocked matcher",
+    )
+    match_parser.add_argument(
+        "--semantic-blocking",
+        dest="semantic_blocking",
+        default="off",
+        choices=["off", "on", "auto"],
+        help="union ANN embedding-neighbour candidates with the surface keys",
+    )
+    match_parser.add_argument(
+        "--ann-top-k",
+        dest="ann_top_k",
+        type=int,
+        default=5,
+        help="candidate pairs the semantic channel emits per probing value",
     )
     match_parser.add_argument("--all", action="store_true", help="also print singleton sets")
     match_parser.set_defaults(func=cmd_match)

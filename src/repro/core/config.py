@@ -22,6 +22,7 @@ from typing import Any, Dict, List, Optional, Union
 
 from repro.core.representatives import REPRESENTATIVE_POLICIES
 from repro.core.value_matching import DEFAULT_BLOCKING_CUTOFF, DEFAULT_BLOCKING_KEY_CAP
+from repro.matching.ann import DEFAULT_ANN_BITS, DEFAULT_ANN_TABLES, DEFAULT_ANN_TOP_K
 from repro.embeddings.base import ValueEmbedder
 from repro.embeddings.registry import EMBEDDERS
 from repro.fd import FD_ALGORITHMS
@@ -70,6 +71,26 @@ class FuzzyFDConfig:
         blocking key whose *smaller* posting list exceeds the cap is skipped
         (stop-word-like keys would otherwise contribute quadratic candidate
         blocks).  ``None`` disables the cap (pre-cap behaviour).
+    semantic_blocking:
+        The ANN candidate channel of the blocked matcher
+        (:class:`~repro.matching.ann.SemanticBlocker`): ``"off"`` (surface
+        keys only, the default), ``"on"`` (always union embedding-neighbour
+        pairs into the candidate graph), or ``"auto"`` (union them only for
+        column pairs where the surface keys left some value with no candidate
+        at all).  ``"on"`` requires ``blocking`` ``"on"``/``"auto"`` — the
+        channel rides the blocked matcher; the exhaustive matcher already
+        scores every pair.
+    ann_tables:
+        Number of LSH hash tables of the semantic channel.  More tables,
+        higher recall, linearly more probing.
+    ann_bits:
+        Random-hyperplane bits per LSH table.  Fewer bits, bigger buckets:
+        higher recall, more similarity evaluations.
+    ann_top_k:
+        Candidate pairs the semantic channel emits per value (its nearest
+        counterparts by cosine similarity; both sides probe).  Bounds the
+        extra pairs the channel can add to roughly
+        ``top_k × (|left| + |right|)``.
     alignment:
         Alignment strategy used when the caller does not pass an explicit
         alignment: ``"by_name"`` groups equal headers (the Figure 1 setting),
@@ -99,6 +120,10 @@ class FuzzyFDConfig:
     blocking: str = "off"
     blocking_cutoff: int = DEFAULT_BLOCKING_CUTOFF
     blocking_key_cap: Optional[int] = DEFAULT_BLOCKING_KEY_CAP
+    semantic_blocking: str = "off"
+    ann_tables: int = DEFAULT_ANN_TABLES
+    ann_bits: int = DEFAULT_ANN_BITS
+    ann_top_k: int = DEFAULT_ANN_TOP_K
     alignment: str = "by_name"
     max_workers: int = 1
     parallel_backend: str = "thread"
@@ -118,6 +143,22 @@ class FuzzyFDConfig:
             raise ValueError(
                 f"blocking_key_cap must be >= 1 or None, got {self.blocking_key_cap}"
             )
+        if self.semantic_blocking not in ("off", "on", "auto"):
+            raise ValueError(
+                f"semantic_blocking must be 'off', 'on' or 'auto', "
+                f"got {self.semantic_blocking!r}"
+            )
+        if self.semantic_blocking == "on" and self.blocking == "off":
+            raise ValueError(
+                "semantic_blocking='on' requires blocking 'on' or 'auto': the ANN "
+                "channel rides the blocked matcher"
+            )
+        if self.ann_tables < 1:
+            raise ValueError(f"ann_tables must be >= 1, got {self.ann_tables}")
+        if not 1 <= self.ann_bits <= 30:
+            raise ValueError(f"ann_bits must be in [1, 30], got {self.ann_bits}")
+        if self.ann_top_k < 1:
+            raise ValueError(f"ann_top_k must be >= 1, got {self.ann_top_k}")
         if self.max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {self.max_workers}")
         if self.parallel_backend not in EXECUTOR_BACKENDS:
@@ -231,9 +272,10 @@ class FuzzyFDConfig:
 
 #: Named operating points.  ``"paper"`` is the paper's exact configuration;
 #: ``"fast"`` trades effectiveness for speed (cheap surface embedder, greedy
-#: assignment); ``"scale"`` keeps the paper's models but engages blocking,
-#: the partitioned FD substrate and the parallel execution layer (4 thread
-#: workers) for wide data-lake inputs.
+#: assignment); ``"scale"`` keeps the paper's models but engages blocking
+#: (with the semantic ANN channel on ``"auto"``), the partitioned FD
+#: substrate and the parallel execution layer (4 thread workers) for wide
+#: data-lake inputs.
 PRESETS: Registry[Dict[str, Any]] = Registry(
     "config preset",
     {
@@ -245,6 +287,7 @@ PRESETS: Registry[Dict[str, Any]] = Registry(
         },
         "scale": {
             "blocking": "auto",
+            "semantic_blocking": "auto",
             "fd_algorithm": "partitioned",
             "max_workers": 4,
             "parallel_backend": "thread",

@@ -53,6 +53,10 @@ REQUEST_OVERRIDES = (
     "blocking",
     "blocking_cutoff",
     "blocking_key_cap",
+    "semantic_blocking",
+    "ann_tables",
+    "ann_bits",
+    "ann_top_k",
     "max_workers",
     "parallel_backend",
 )
@@ -237,7 +241,10 @@ class IntegrationEngine:
         if effective.blocking != "off":
             # Aggregate the per-group blocking counters next to the phase
             # timings so callers see how much pairwise work blocking saved.
-            for key in ("blocking_pairs_scored", "blocking_pairs_avoided"):
+            counter_keys = ["blocking_pairs_scored", "blocking_pairs_avoided"]
+            if effective.semantic_blocking != "off":
+                counter_keys += ["blocking_ann_pairs_added", "blocking_ann_pairs_duplicate"]
+            for key in counter_keys:
                 timings[key] = sum(
                     result.statistics.get(key, 0.0) for result in value_matching.values()
                 )
@@ -423,6 +430,10 @@ class IntegrationEngine:
             effective.blocking,
             effective.blocking_cutoff,
             effective.blocking_key_cap,
+            effective.semantic_blocking,
+            effective.ann_tables,
+            effective.ann_bits,
+            effective.ann_top_k,
             effective.max_workers,
             effective.parallel_backend,
         )
@@ -437,6 +448,10 @@ class IntegrationEngine:
                 blocking=effective.blocking,
                 blocking_cutoff=effective.blocking_cutoff,
                 blocking_key_cap=effective.blocking_key_cap,
+                semantic_blocking=effective.semantic_blocking,
+                ann_tables=effective.ann_tables,
+                ann_bits=effective.ann_bits,
+                ann_top_k=effective.ann_top_k,
                 max_workers=effective.max_workers,
                 parallel_backend=effective.parallel_backend,
             )

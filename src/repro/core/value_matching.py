@@ -27,6 +27,12 @@ from repro.core.representatives import REPRESENTATIVE_POLICIES, select_represent
 from repro.embeddings.base import ValueEmbedder
 from repro.matching.assignment import AssignmentSolver
 from repro.matching.bipartite import BipartiteValueMatcher, ValueMatch
+from repro.matching.ann import (
+    DEFAULT_ANN_BITS,
+    DEFAULT_ANN_TABLES,
+    DEFAULT_ANN_TOP_K,
+    SemanticBlocker,
+)
 from repro.matching.blocking import (
     DEFAULT_FREQUENT_KEY_CAP,
     BlockedValueMatcher,
@@ -153,6 +159,10 @@ class ValueMatcher:
         blocking: str = "off",
         blocking_cutoff: int = DEFAULT_BLOCKING_CUTOFF,
         blocking_key_cap: Optional[int] = DEFAULT_BLOCKING_KEY_CAP,
+        semantic_blocking: str = "off",
+        ann_tables: int = DEFAULT_ANN_TABLES,
+        ann_bits: int = DEFAULT_ANN_BITS,
+        ann_top_k: int = DEFAULT_ANN_TOP_K,
         max_workers: int = 1,
         parallel_backend: str = "thread",
     ) -> None:
@@ -160,6 +170,16 @@ class ValueMatcher:
             raise ValueError(f"blocking must be 'off', 'on' or 'auto', got {blocking!r}")
         if blocking_cutoff <= 0:
             raise ValueError(f"blocking_cutoff must be positive, got {blocking_cutoff}")
+        if semantic_blocking not in ("off", "on", "auto"):
+            raise ValueError(
+                f"semantic_blocking must be 'off', 'on' or 'auto', got {semantic_blocking!r}"
+            )
+        if semantic_blocking == "on" and blocking == "off":
+            raise ValueError(
+                "semantic_blocking='on' requires blocking 'on' or 'auto': the ANN "
+                "channel rides the blocked matcher (the exhaustive matcher already "
+                "scores every pair)"
+            )
         # Fail fast on a typo'd policy name here rather than deep inside
         # match_columns() on the first accepted match.
         REPRESENTATIVE_POLICIES.validate(representative_policy)
@@ -170,12 +190,28 @@ class ValueMatcher:
         self.blocking = blocking
         self.blocking_cutoff = blocking_cutoff
         self.blocking_key_cap = blocking_key_cap
+        self.semantic_blocking = semantic_blocking
         # Validated eagerly (backend name, worker count) by ExecutorConfig;
         # the blocked engine is the only consumer — the exhaustive matcher
         # solves one global assignment and has nothing to distribute.
         self.executor = ExecutorConfig(backend=parallel_backend, max_workers=max_workers)
         self._matcher = BipartiteValueMatcher(
             distance=EmbeddingDistance(embedder), threshold=threshold, solver=solver
+        )
+        # The semantic blocker validates the ann_* knobs eagerly even when
+        # blocking is off (so a bad ann_top_k never hides behind blocking).
+        # Its similarity floor is 1 - θ: pairs below it are unmatchable under
+        # the threshold, so emitting them would only weld components.
+        semantic_blocker = (
+            SemanticBlocker(
+                embedder,
+                top_k=ann_top_k,
+                n_tables=ann_tables,
+                n_bits=ann_bits,
+                min_similarity=max(0.0, 1.0 - threshold),
+            )
+            if semantic_blocking != "off"
+            else None
         )
         self._blocked_matcher = (
             BlockedValueMatcher(
@@ -184,6 +220,8 @@ class ValueMatcher:
                 solver=solver,
                 blocker=ValueBlocker(frequent_key_cap=blocking_key_cap),
                 executor=self.executor,
+                semantic_blocker=semantic_blocker,
+                semantic_mode=semantic_blocking if semantic_blocking != "off" else "on",
             )
             if blocking != "off"
             else None
@@ -218,6 +256,11 @@ class ValueMatcher:
                 blocking_pairs_scored=0.0,
                 blocking_pairs_avoided=0.0,
             )
+            if self.semantic_blocking != "off":
+                statistics.update(
+                    blocking_ann_pairs_added=0.0,
+                    blocking_ann_pairs_duplicate=0.0,
+                )
 
         groups = [
             _Group(members=[(columns[0].column_id, value)], representative=value)
@@ -249,6 +292,13 @@ class ValueMatcher:
                 statistics["blocking_skipped_keys"] = statistics.get(
                     "blocking_skipped_keys", 0.0
                 ) + float(blocking_stats.skipped_keys)
+                if self.semantic_blocking != "off":
+                    statistics["blocking_ann_pairs_added"] += float(
+                        blocking_stats.ann_pairs_added
+                    )
+                    statistics["blocking_ann_pairs_duplicate"] += float(
+                        blocking_stats.ann_pairs_duplicate
+                    )
                 # Component-size distribution, aggregated over every blocked
                 # assignment; the reporting layer renders these buckets as a
                 # histogram to guide cutoff/batching tuning.

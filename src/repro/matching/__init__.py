@@ -17,6 +17,7 @@ from repro.matching.assignment import (
     available_solvers,
     get_assignment_solver,
 )
+from repro.matching.ann import SemanticBlocker
 from repro.matching.bipartite import BipartiteValueMatcher, ValueMatch, split_exact_matches
 from repro.matching.blocking import (
     PROHIBITIVE_COST,
@@ -50,6 +51,7 @@ __all__ = [
     "split_exact_matches",
     "BlockedValueMatcher",
     "ValueBlocker",
+    "SemanticBlocker",
     "BlockingStatistics",
     "PROHIBITIVE_COST",
     "ValueMatch",

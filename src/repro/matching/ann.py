@@ -1,0 +1,277 @@
+"""Approximate-nearest-neighbour semantic blocking over value embeddings.
+
+Surface blocking keys (:class:`~repro.matching.blocking.ValueBlocker`'s
+n-grams, token prefixes and lexicon concepts) can only propose a candidate
+pair when the two values share some *surface* evidence.  Pairs whose strings
+share no characters at all — out-of-lexicon synonyms, abbreviations of names
+the lexicon does not know — are exactly the fuzzy matches the paper's
+embedding-distance matching is supposed to recover, and surface blocking
+silently drops them before they are ever scored.
+
+:class:`SemanticBlocker` closes that gap with a second, *semantic* candidate
+channel: it indexes the value embeddings themselves (the same unit vectors
+``embed_many`` already computes for scoring, so a warm
+:class:`~repro.embeddings.base.EmbeddingCache` makes indexing free) and emits,
+for every left value, its approximate nearest right values.  The candidate
+pairs are unioned with the surface channel's pairs by
+:class:`~repro.matching.blocking.BlockedValueMatcher` before component
+decomposition, so the downstream engine is unchanged — the semantic channel
+only ever *adds* edges to the candidate graph.
+
+Two retrieval strategies, chosen per column pair by size:
+
+* **Brute-force top-k** (small pairs): one dense similarity matrix, exact
+  top-k in both directions.  Below ``brute_force_cells`` cells this is cheaper
+  and strictly more accurate than any index.
+* **Random-hyperplane LSH** (large pairs): ``n_tables`` independent hash
+  tables of ``n_bits`` signed random projections each.  Values whose codes
+  collide in any table (exactly, or — via single-bit multiprobe — at Hamming
+  distance 1) become candidates; each value keeps its ``top_k`` nearest by
+  true cosine similarity among its collision set, probing in both directions
+  (left over the right tables and vice versa) so neither side can be starved
+  by the other's top-k competition.  Numpy-only, no external index library.
+
+Determinism: hyperplanes come from a seeded :func:`numpy.random.default_rng`,
+bucket iteration follows input positions, and every top-k selection breaks
+ties by index via stable sorts — two runs with the same seed over the same
+values produce identical candidate sets, on any backend.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.embeddings.base import ValueEmbedder
+
+#: Default number of LSH hash tables.  More tables raise recall (a pair only
+#: needs to collide once) at linearly more probing work.
+DEFAULT_ANN_TABLES = 8
+
+#: Default number of random-hyperplane bits per table.  Fewer bits mean
+#: larger buckets: higher recall, more true-similarity evaluations.  With
+#: single-bit multiprobe, 8 bits keeps pairs at cosine similarity ≈0.6 —
+#: the regime of surface-disjoint synonyms under the simulated LLM
+#: embedders — above ~90% collision probability across the default tables.
+DEFAULT_ANN_BITS = 8
+
+#: Default candidates kept per probing value (nearest by true cosine
+#: similarity among the collision set, or exact top-k on the brute path;
+#: both sides probe, so the pair budget is ~``top_k × (|left| + |right|)``).
+DEFAULT_ANN_TOP_K = 5
+
+#: Default seed of the random hyperplanes.  Fixed so that two matchers built
+#: independently (e.g. one per engine worker thread) block identically.
+DEFAULT_ANN_SEED = 97
+
+#: Column pairs with at most this many cells (``|left| × |right|``) take the
+#: exact brute-force path; above it the LSH index engages.
+DEFAULT_BRUTE_FORCE_CELLS = 250_000
+
+
+class SemanticBlocker:
+    """Emits candidate pairs of embedding-nearest values.
+
+    The interface mirrors :meth:`ValueBlocker.candidate_pairs
+    <repro.matching.blocking.ValueBlocker.candidate_pairs>`: a sorted list of
+    ``(left_index, right_index)`` pairs.  The blocker never decides matches —
+    it only proposes pairs for the assignment engine to score, so a loose
+    ``top_k`` costs extra scored cells, never wrong matches.
+
+    Parameters
+    ----------
+    embedder:
+        Source of the value embeddings.  Lookups go through
+        ``embedder.embed_many``, so indexing reuses (and warms) the
+        embedder's cache — inside an :class:`~repro.core.engine.
+        IntegrationEngine` the vectors are typically already cached and
+        indexing re-embeds nothing.
+    top_k:
+        Candidates emitted per probing value (each side probes the other).
+    n_tables / n_bits:
+        LSH shape (see module docstring).  Only consulted above the
+        brute-force cutoff.
+    seed:
+        Seed of the random hyperplanes; same seed, same candidates.
+    brute_force_cells:
+        Cell-count cutoff below which the exact dense path runs instead of
+        the LSH index.
+    min_similarity:
+        Cosine-similarity floor on emitted pairs.  A top-k list is padded
+        with whatever neighbours exist, however distant; below-floor pairs
+        are dropped because they cannot survive the matcher's threshold θ
+        anyway (distance ``1 - sim ≥ θ``) — and, worse, keeping them welds
+        unrelated values into one giant connected component, inflating
+        ``pairs_scored`` toward the dense cross product.  Callers that know
+        θ should pass ``1 - θ`` (the blocked matcher's configuration layer
+        does); ``0.0`` disables the floor.
+    """
+
+    def __init__(
+        self,
+        embedder: ValueEmbedder,
+        top_k: int = DEFAULT_ANN_TOP_K,
+        n_tables: int = DEFAULT_ANN_TABLES,
+        n_bits: int = DEFAULT_ANN_BITS,
+        seed: int = DEFAULT_ANN_SEED,
+        brute_force_cells: int = DEFAULT_BRUTE_FORCE_CELLS,
+        min_similarity: float = 0.0,
+    ) -> None:
+        if top_k < 1:
+            raise ValueError(f"top_k must be >= 1, got {top_k}")
+        if n_tables < 1:
+            raise ValueError(f"n_tables must be >= 1, got {n_tables}")
+        if not 1 <= n_bits <= 30:
+            raise ValueError(f"n_bits must be in [1, 30], got {n_bits}")
+        if brute_force_cells < 0:
+            raise ValueError(f"brute_force_cells must be >= 0, got {brute_force_cells}")
+        if not 0.0 <= min_similarity < 1.0:
+            raise ValueError(f"min_similarity must be in [0, 1), got {min_similarity}")
+        self.embedder = embedder
+        self.top_k = top_k
+        self.n_tables = n_tables
+        self.n_bits = n_bits
+        self.seed = seed
+        self.brute_force_cells = brute_force_cells
+        self.min_similarity = min_similarity
+        #: Whether the last :meth:`candidate_pairs` call used the LSH index
+        #: (``False`` means the exact brute-force path ran).
+        self.last_used_lsh = False
+        # Hyperplanes are a function of (seed, tables, bits, dimension) only,
+        # so they are drawn once and shared by every candidate_pairs call.
+        self._planes: Dict[int, np.ndarray] = {}
+
+    # -- public API -----------------------------------------------------------------
+    def candidate_pairs(
+        self, left_values: Sequence[object], right_values: Sequence[object]
+    ) -> List[Tuple[int, int]]:
+        """Sorted embedding-neighbour index pairs between the two value lists."""
+        if not left_values or not right_values:
+            self.last_used_lsh = False
+            return []
+        left_vectors = self.embedder.embed_many(list(left_values))
+        right_vectors = self.embedder.embed_many(list(right_values))
+        if len(left_values) * len(right_values) <= self.brute_force_cells:
+            self.last_used_lsh = False
+            pairs = self._brute_force_pairs(left_vectors, right_vectors)
+        else:
+            self.last_used_lsh = True
+            pairs = self._lsh_pairs(left_vectors, right_vectors)
+        return sorted(pairs)
+
+    # -- exact path -----------------------------------------------------------------
+    def _brute_force_pairs(
+        self, left_vectors: np.ndarray, right_vectors: np.ndarray
+    ) -> Set[Tuple[int, int]]:
+        """Exact top-k in both directions over one dense similarity matrix.
+
+        Both directions matter: per-row top-k alone can starve a right value
+        whose nearest lefts all have closer neighbours of their own, and a
+        starved value never enters the candidate graph at all.
+        """
+        similarities = left_vectors @ right_vectors.T
+        floor = self.min_similarity
+        pairs: Set[Tuple[int, int]] = set()
+        k_rows = min(self.top_k, similarities.shape[1])
+        # Stable argsort on the negated similarities: ties resolve toward the
+        # smaller index, so the selection is deterministic.
+        row_order = np.argsort(-similarities, axis=1, kind="stable")[:, :k_rows]
+        for left_index in range(similarities.shape[0]):
+            for right_index in row_order[left_index]:
+                if similarities[left_index, right_index] > floor:
+                    pairs.add((left_index, int(right_index)))
+        k_cols = min(self.top_k, similarities.shape[0])
+        column_order = np.argsort(-similarities.T, axis=1, kind="stable")[:, :k_cols]
+        for right_index in range(similarities.shape[1]):
+            for left_index in column_order[right_index]:
+                if similarities[left_index, right_index] > floor:
+                    pairs.add((int(left_index), right_index))
+        return pairs
+
+    # -- LSH path -------------------------------------------------------------------
+    def _hyperplanes(self, dimension: int) -> np.ndarray:
+        """The ``(n_tables, n_bits, dimension)`` random hyperplane stack."""
+        planes = self._planes.get(dimension)
+        if planes is None:
+            rng = np.random.default_rng(self.seed)
+            planes = rng.standard_normal((self.n_tables, self.n_bits, dimension))
+            self._planes[dimension] = planes
+        return planes
+
+    def _codes(self, vectors: np.ndarray, planes: np.ndarray) -> np.ndarray:
+        """Per-table integer hash codes, shape ``(n_tables, n_values)``."""
+        weights = (1 << np.arange(self.n_bits, dtype=np.int64))
+        codes = np.empty((self.n_tables, vectors.shape[0]), dtype=np.int64)
+        for table in range(self.n_tables):
+            bits = vectors @ planes[table].T >= 0.0
+            codes[table] = bits @ weights
+        return codes
+
+    def _lsh_pairs(
+        self, left_vectors: np.ndarray, right_vectors: np.ndarray
+    ) -> Set[Tuple[int, int]]:
+        """Multi-table, single-bit-multiprobe LSH retrieval, both directions.
+
+        Like the brute-force path, retrieval runs symmetrically: left values
+        probe the right-side tables *and* right values probe the left-side
+        tables.  Per-left top-k alone would starve a right value whose
+        nearest lefts all have ``top_k`` closer neighbours of their own —
+        and a starved value never enters the candidate graph at all.
+        """
+        planes = self._hyperplanes(left_vectors.shape[1])
+        left_codes = self._codes(left_vectors, planes)
+        right_codes = self._codes(right_vectors, planes)
+        pairs = self._probe_direction(left_vectors, left_codes, right_vectors, right_codes)
+        reverse = self._probe_direction(right_vectors, right_codes, left_vectors, left_codes)
+        pairs.update((left_index, right_index) for right_index, left_index in reverse)
+        return pairs
+
+    def _probe_direction(
+        self,
+        query_vectors: np.ndarray,
+        query_codes: np.ndarray,
+        index_vectors: np.ndarray,
+        index_codes: np.ndarray,
+    ) -> Set[Tuple[int, int]]:
+        """``(query, index)`` pairs: each query keeps its top-k bucket-mates."""
+        buckets: List[Dict[int, List[int]]] = []
+        for table in range(self.n_tables):
+            table_buckets: Dict[int, List[int]] = {}
+            for index_position, code in enumerate(index_codes[table]):
+                table_buckets.setdefault(int(code), []).append(index_position)
+            buckets.append(table_buckets)
+
+        flips = [1 << bit for bit in range(self.n_bits)]
+        pairs: Set[Tuple[int, int]] = set()
+        candidate_set: Set[int] = set()
+        for query_index in range(query_vectors.shape[0]):
+            candidate_set.clear()
+            for table in range(self.n_tables):
+                table_buckets = buckets[table]
+                code = int(query_codes[table][query_index])
+                bucket = table_buckets.get(code)
+                if bucket:
+                    candidate_set.update(bucket)
+                # Single-bit multiprobe: a near-neighbour pair that straddles
+                # one hyperplane still collides, which is what lifts recall
+                # at moderate similarities (see module docstring).
+                for flip in flips:
+                    bucket = table_buckets.get(code ^ flip)
+                    if bucket:
+                        candidate_set.update(bucket)
+            if not candidate_set:
+                continue
+            candidates = np.fromiter(sorted(candidate_set), dtype=np.int64)
+            similarities = index_vectors[candidates] @ query_vectors[query_index]
+            order = np.argsort(-similarities, kind="stable")[: self.top_k]
+            for position in order:
+                if similarities[position] > self.min_similarity:
+                    pairs.add((query_index, int(candidates[position])))
+        return pairs
+
+    def __repr__(self) -> str:
+        return (
+            f"SemanticBlocker(top_k={self.top_k}, n_tables={self.n_tables}, "
+            f"n_bits={self.n_bits}, seed={self.seed})"
+        )

@@ -43,6 +43,34 @@ full-form abbreviations with disjoint surfaces unless the semantic key is
 enabled) for a large reduction in scored pairs; the accompanying ablation
 benchmarks quantify the trade-off, the component-wise speedup and the
 parallel scaling.
+
+Step 1 optionally runs a second, *semantic* candidate channel next to the
+surface keys: a :class:`~repro.matching.ann.SemanticBlocker` (LSH over the
+value embeddings) proposes embedding-nearest pairs, which are **unioned**
+with the surface pairs before the component decomposition of step 2.  The
+union restores candidates whose surfaces share nothing at all;
+:class:`BlockingStatistics` reports how many pairs the channel contributed
+(``ann_pairs_added``) and how many it re-proposed (``ann_pairs_duplicate``).
+
+Determinism guarantees
+----------------------
+The engine's result is a pure function of ``(left_values, right_values,
+embedder, threshold, blocker configuration)`` — the executor configuration
+(backend, worker count, batch size) and the singleton-batching switch never
+change which matches are returned, only how fast:
+
+* Candidate generation visits blocks in sorted key order and the semantic
+  channel's LSH uses a fixed seed with stable tie-breaking, so the candidate
+  set is identical run to run.
+* Components are solved independently and merged *positionally*
+  (:func:`repro.utils.executor.run_partitioned` returns results in input
+  order whatever the backend), so serial == thread == process, byte for
+  byte, for every worker count.
+* The singleton fast path picks each star component's winner with a stable
+  grouped argmin — the same cell the per-component solver would pick.
+
+``tests/matching/test_parallel_matching.py`` asserts these guarantees
+across backends and worker counts.
 """
 
 from __future__ import annotations
@@ -56,6 +84,7 @@ import numpy as np
 
 from repro.embeddings.base import ValueEmbedder
 from repro.embeddings.lexicon import SemanticLexicon, default_lexicon
+from repro.matching.ann import SemanticBlocker
 from repro.matching.assignment import AssignmentSolver, ScipyAssignment
 from repro.matching.bipartite import ValueMatch, split_exact_matches
 from repro.matching.distance import EmbeddingDistance, cosine_distance_matrix
@@ -117,6 +146,14 @@ class BlockingStatistics:
     #: means candidate generation was truncated (a possible recall loss worth
     #: surfacing when debugging missing matches).
     skipped_keys: int = 0
+    #: Candidate pairs the semantic ANN channel contributed that no surface
+    #: key proposed — the channel's recall gain, pre-threshold.  Zero when
+    #: semantic blocking is off (or ``"auto"`` found full surface coverage).
+    ann_pairs_added: int = 0
+    #: Semantic-channel pairs the surface keys had already proposed.  A high
+    #: duplicate share means the surfaces carry the semantics and the ANN
+    #: channel is paying for little.
+    ann_pairs_duplicate: int = 0
 
     @property
     def full_matrix_pairs(self) -> int:
@@ -357,6 +394,13 @@ class BlockedValueMatcher:
     / N×1 components through one vectorised argmin pass instead of individual
     solver calls; disabling it exists only so the ablation benchmark can
     measure what the fast path saves.  Neither knob changes the matches.
+
+    ``semantic_blocker`` adds the ANN candidate channel (see
+    :mod:`repro.matching.ann`): its embedding-neighbour pairs are unioned
+    with the surface pairs before component decomposition.  ``semantic_mode``
+    controls when the channel runs: ``"on"`` always, ``"auto"`` only when the
+    surface keys left at least one value on either side without a single
+    candidate (the cheap signal that surface blocking is losing recall).
     """
 
     def __init__(
@@ -367,17 +411,25 @@ class BlockedValueMatcher:
         blocker: Optional[ValueBlocker] = None,
         executor: Optional[ExecutorConfig] = None,
         singleton_batching: bool = True,
+        semantic_blocker: Optional[SemanticBlocker] = None,
+        semantic_mode: str = "on",
     ) -> None:
         if not 0.0 < threshold <= 1.0:
             raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        if semantic_mode not in ("on", "auto"):
+            raise ValueError(f"semantic_mode must be 'on' or 'auto', got {semantic_mode!r}")
         self.embedder = embedder
         self.distance = EmbeddingDistance(embedder)
         self.threshold = threshold
         self.solver = solver if solver is not None else ScipyAssignment()
         self.blocker = blocker if blocker is not None else ValueBlocker()
+        self.semantic_blocker = semantic_blocker
+        self.semantic_mode = semantic_mode
         self.executor = executor if executor is not None else ExecutorConfig()
         self.singleton_batching = singleton_batching
         self.last_statistics: Optional[BlockingStatistics] = None
+        self._last_ann_added = 0
+        self._last_ann_duplicate = 0
 
     def match(
         self, left_values: Sequence[object], right_values: Sequence[object]
@@ -479,6 +531,8 @@ class BlockedValueMatcher:
             pairs_scored=sum(component_cells),
             component_cells=component_cells,
             skipped_keys=self.blocker.last_skipped_keys,
+            ann_pairs_added=self._last_ann_added,
+            ann_pairs_duplicate=self._last_ann_duplicate,
         )
         matches.sort(key=lambda match: (match.distance, str(match.left), str(match.right)))
         return matches
@@ -574,6 +628,8 @@ class BlockedValueMatcher:
             pairs_scored=len(candidates),
             component_cells=(len(left_used) * len(right_used),),
             skipped_keys=self.blocker.last_skipped_keys,
+            ann_pairs_added=self._last_ann_added,
+            ann_pairs_duplicate=self._last_ann_duplicate,
         )
         matches: List[ValueMatch] = []
         for row, column in self.solver.solve(cost):
@@ -604,11 +660,24 @@ class BlockedValueMatcher:
     def _candidates_or_none(
         self, left_values: Sequence[object], right_values: Sequence[object]
     ) -> Optional[List[Tuple[int, int]]]:
-        """Blocked candidate pairs, or ``None`` when there is nothing to match."""
+        """Surface ∪ semantic candidate pairs, or ``None`` when nothing matches."""
+        self._last_ann_added = 0
+        self._last_ann_duplicate = 0
         if not left_values or not right_values:
             self.last_statistics = BlockingStatistics(len(left_values), len(right_values), 0)
             return None
         candidates = self.blocker.candidate_pairs(left_values, right_values)
+        if self.semantic_blocker is not None and self._semantic_engages(
+            candidates, len(left_values), len(right_values)
+        ):
+            semantic_pairs = self.semantic_blocker.candidate_pairs(left_values, right_values)
+            if semantic_pairs:
+                surface_set = set(candidates)
+                added = [pair for pair in semantic_pairs if pair not in surface_set]
+                self._last_ann_added = len(added)
+                self._last_ann_duplicate = len(semantic_pairs) - len(added)
+                if added:
+                    candidates = sorted(surface_set.union(added))
         if not candidates:
             # skipped_keys matters most here: an all-capped key set is
             # indistinguishable from "nothing blocks together" without it.
@@ -620,6 +689,28 @@ class BlockedValueMatcher:
             )
             return None
         return candidates
+
+    def _semantic_engages(
+        self, surface_candidates: Sequence[Tuple[int, int]], n_left: int, n_right: int
+    ) -> bool:
+        """Whether the ANN channel runs for this column pair.
+
+        ``"on"`` always engages.  ``"auto"`` engages exactly when the surface
+        channel left some value with no candidate at all: a fully covered
+        graph can still be missing *better* pairs, but an uncovered value is
+        a guaranteed recall hole — and checking coverage costs one set pass,
+        not an index build.
+        """
+        if self.semantic_mode == "on":
+            return True
+        if len(surface_candidates) == 0:
+            return True
+        covered_left: Set[int] = set()
+        covered_right: Set[int] = set()
+        for left_index, right_index in surface_candidates:
+            covered_left.add(left_index)
+            covered_right.add(right_index)
+        return len(covered_left) < n_left or len(covered_right) < n_right
 
     @staticmethod
     def _connected_components(

@@ -30,6 +30,30 @@ Backends
     ``concurrent.futures.ProcessPoolExecutor``.  True CPU parallelism for
     pure-Python work at the price of pickling ``fn`` and every batch; ``fn``
     must be a module-level callable (or a ``functools.partial`` of one).
+
+Determinism guarantees
+----------------------
+``run_partitioned(items, fn, config)`` returns exactly
+``[fn(item) for item in items]`` for *every* backend and worker count —
+serial == thread == process, element for element.  Three design decisions
+make that hold:
+
+* **Contiguous batches.**  :func:`partition_batches` only ever groups
+  *adjacent* items, so flattening the batches restores the exact input
+  order; no hashing, no work stealing, no arrival-order dependence.
+* **Positional merge.**  The parallel paths collect ``pool.map`` results in
+  batch-submission order and flatten them positionally; nothing is merged
+  by completion time.
+* **No shared mutable state.**  ``fn`` receives one item and returns one
+  result; the executor never passes accumulators between workers.
+
+Consequently a caller may treat the executor configuration as a pure
+performance knob: changing ``backend``, ``max_workers`` or ``batch_size``
+can never change a result, only its latency.  ``weight`` steers batch
+balancing only — it affects *which* batch an item lands in, never the order
+results come back in.  ``tests/utils/test_executor.py`` and
+``tests/matching/test_parallel_matching.py`` assert these guarantees
+(byte-identical matches across serial/thread/process at 1/2/4 workers).
 """
 
 from __future__ import annotations

@@ -106,3 +106,37 @@ class TestParallelAblationHarness:
         assert module.component_workload(48) == module.component_workload(48)
         left, right = module.mixed_workload(60)
         assert len(left) == len(right) == 60
+
+
+class TestAnnAblationHarness:
+    def test_small_run_records_the_acceptance_claims(self, tmp_path):
+        module = _load("bench_ablation_ann")
+        payload = module.run_all(n_pairs=80, mixed_pairs=60, top_ks=(1, 3))
+        recall = payload["synonym_recall"]
+        # Strict recall improvement at sub-dense cost — the PR's claim.
+        assert recall["semantic"]["recall"] > recall["surface"]["recall"]
+        assert recall["semantic"]["pairs_scored"] < recall["dense_cells"]
+        mixed = payload["mixed_corruption"]
+        assert mixed["modes"]["on"]["recall"] > mixed["modes"]["off"]["recall"]
+        assert mixed["modes"]["on"]["pairs_scored"] < mixed["dense_cells"]
+        assert module.report(payload)
+        written = module.write_json(payload, str(tmp_path / "BENCH_ann.json"))
+        assert written.exists()
+
+    def test_workloads_are_deterministic(self):
+        module = _load("bench_ablation_ann")
+        first = module.synonym_vocabulary(30)
+        second = module.synonym_vocabulary(30)
+        assert first[0] == second[0] and first[1] == second[1]
+        mixed_first = module.corruption_workload(40)
+        mixed_second = module.corruption_workload(40)
+        assert mixed_first[0] == mixed_second[0] and mixed_first[1] == mixed_second[1]
+
+    def test_planted_pairs_share_no_surface(self):
+        """The workload's premise: zero surface candidates by construction."""
+        from repro.matching.blocking import ValueBlocker
+
+        module = _load("bench_ablation_ann")
+        left, right, _ = module.synonym_vocabulary(30)
+        blocker = ValueBlocker(use_lexicon=False)
+        assert blocker.candidate_pairs(left, right) == []

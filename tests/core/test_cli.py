@@ -42,6 +42,23 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["integrate", "x.csv", "--parallel-backend", "gpu"])
 
+    def test_semantic_blocking_flags(self):
+        args = build_parser().parse_args(
+            ["integrate", "x.csv", "--semantic-blocking", "auto", "--ann-top-k", "9"]
+        )
+        assert args.semantic_blocking == "auto"
+        assert args.ann_top_k == 9
+        assert {"semantic_blocking", "ann_top_k"} <= args._explicit
+
+    def test_semantic_blocking_defaults_off(self):
+        args = build_parser().parse_args(["integrate", "x.csv"])
+        assert args.semantic_blocking == "off"
+        assert args.ann_top_k == 5
+
+    def test_invalid_semantic_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["integrate", "x.csv", "--semantic-blocking", "maybe"])
+
     def test_benchmark_choices(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["benchmark", "unknown-experiment"])
@@ -97,6 +114,34 @@ class TestIntegrateCommand:
         serial_output = tmp_path / "serial.csv"
         assert main(["integrate", str(directory), "--output", str(serial_output), "--blocking", "on"]) == 0
         assert read_csv(output).same_rows(read_csv(serial_output))
+
+    def test_semantic_blocking_runs_end_to_end(self, lake, tmp_path, capsys):
+        directory, _ = lake
+        output = tmp_path / "semantic.csv"
+        exit_code = main(
+            [
+                "integrate",
+                str(directory),
+                "--output",
+                str(output),
+                "--blocking",
+                "on",
+                "--semantic-blocking",
+                "on",
+                "--ann-top-k",
+                "3",
+            ]
+        )
+        assert exit_code == 0
+        integrated = read_csv(output)
+        assert integrated.num_rows > 0
+        assert "wrote" in capsys.readouterr().out
+
+    def test_semantic_on_without_blocking_fails_cleanly(self, lake, capsys):
+        _, paths = lake
+        with pytest.raises(SystemExit) as excinfo:
+            main(["integrate", *paths, "--semantic-blocking", "on"])
+        assert "blocking" in str(excinfo.value)
 
 
 class TestConfigFlags:

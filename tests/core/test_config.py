@@ -65,6 +65,36 @@ class TestEagerValidation:
             FuzzyFDConfig(parallel_backend="gpu")
         assert "thread" in str(excinfo.value)
 
+    def test_semantic_blocking_mode_validated(self):
+        with pytest.raises(ValueError, match="semantic_blocking"):
+            FuzzyFDConfig(semantic_blocking="maybe")
+
+    def test_semantic_on_requires_blocking(self):
+        with pytest.raises(ValueError, match="semantic_blocking"):
+            FuzzyFDConfig(semantic_blocking="on")  # blocking defaults to "off"
+        # auto is a safe no-op without blocking, and on composes with on/auto.
+        FuzzyFDConfig(semantic_blocking="auto")
+        FuzzyFDConfig(blocking="auto", semantic_blocking="on")
+
+    def test_ann_knobs_validated(self):
+        with pytest.raises(ValueError, match="ann_tables"):
+            FuzzyFDConfig(ann_tables=0)
+        with pytest.raises(ValueError, match="ann_bits"):
+            FuzzyFDConfig(ann_bits=31)
+        with pytest.raises(ValueError, match="ann_top_k"):
+            FuzzyFDConfig(ann_top_k=0)
+
+    def test_ann_knobs_serialise_and_round_trip(self):
+        config = FuzzyFDConfig(
+            blocking="on", semantic_blocking="on", ann_tables=4, ann_bits=10, ann_top_k=7
+        )
+        data = config.to_dict()
+        assert data["semantic_blocking"] == "on"
+        assert data["ann_tables"] == 4
+        assert data["ann_bits"] == 10
+        assert data["ann_top_k"] == 7
+        assert FuzzyFDConfig.from_dict(data) == config
+
     def test_parallel_knobs_serialise_and_round_trip(self):
         config = FuzzyFDConfig(max_workers=4, parallel_backend="process")
         data = config.to_dict()
@@ -184,6 +214,8 @@ class TestPresets:
         config = FuzzyFDConfig.preset("scale")
         assert config.fd_algorithm == "partitioned"
         assert config.blocking == "auto"
+        # the semantic ANN channel engages where surface keys lose recall
+        assert config.semantic_blocking == "auto"
         # the paper's models are kept
         assert config.embedder == "mistral"
 

@@ -304,6 +304,43 @@ class TestWarmEmbeddingCache:
         assert embedder.embed_calls == calls_after_first
         assert engine.embedding_cache.hits > 0
 
+    def test_ann_indexing_reuses_cached_embeddings(self, covid_tables):
+        """Semantic blocking never re-embeds: indexing reads the warm cache.
+
+        Two invariants pin this down: no text is ever embedded twice within
+        one request (raw calls == distinct cache entries), and a second
+        request over the same tables — which rebuilds the ANN index — adds
+        zero raw embedding calls.
+        """
+        embedder = CountingMistralEmbedder()
+        engine = IntegrationEngine(
+            FuzzyFDConfig(embedder=embedder, blocking="on", semantic_blocking="on")
+        )
+
+        engine.integrate(covid_tables)
+        calls_after_first = embedder.embed_calls
+        assert calls_after_first > 0
+        # One raw call per cache entry: the ANN index and the scoring stage
+        # shared every vector instead of computing it twice.
+        assert calls_after_first == len(engine.embedding_cache)
+
+        engine.integrate(covid_tables, threshold=0.8)
+        assert embedder.embed_calls == calls_after_first
+
+    def test_semantic_blocking_is_a_per_request_override(self, covid_tables):
+        engine = IntegrationEngine(FuzzyFDConfig(blocking="on"))
+        result = engine.integrate(
+            covid_tables, semantic_blocking="on", ann_top_k=3
+        )
+        assert result.timings.get("blocking_ann_pairs_added", 0.0) >= 0.0
+        # The engine's own config was not mutated by the override.
+        assert engine.config.semantic_blocking == "off"
+
+    def test_semantic_override_requires_blocking(self, covid_tables):
+        engine = IntegrationEngine()
+        with pytest.raises(ValueError):
+            engine.integrate(covid_tables, semantic_blocking="on")
+
     def test_operator_classes_do_not_share_state(self, covid_tables):
         """One-shot operators stay independent (back-compat behaviour)."""
         first = FuzzyFullDisjunction()
