@@ -1,0 +1,391 @@
+"""Benchmark ``bench-store`` — the persistent artifact store, measured.
+
+The storage PR made engine warmth durable: embedding matrices live in
+memmapped segments of an :class:`~repro.storage.store.ArtifactStore`, the
+semantic blocker's LSH codes persist next to them, and process workers
+attach shared memmaps instead of unpickling embedding rows.  This benchmark
+records what each mechanism buys:
+
+1. **Cold vs warm engine start**: a fresh engine integrates a workload and
+   publishes its artifacts; a second fresh engine over the same directory
+   serves the same request warm.  The warm run must make *zero* raw embed
+   calls, produce identical output, and be faster.
+2. **Durable ANN indexes**: LSH code matrices built + published cold, then
+   loaded by a fresh blocker — zero rebuilds, identical candidate pairs.
+3. **Process hand-off**: ``run_partitioned`` over the process backend with
+   the embedding matrix shipped the old way (pickled into every batch's
+   closure) vs the new way (``shared=`` memmap handles).
+4. **Store-on vs store-off identity**: the store never changes results.
+
+Results land in ``BENCH_store.json`` (CI uploads it as an artifact), so the
+cold→warm trajectory is recorded over time.  Absolute speedups are
+hardware- and workload-honest: the simulated embedders are cheap, so the
+warm-start ratio here is a *floor* — real model-backed embedders make the
+cold side arbitrarily slower while the warm side stays memmap-bound.
+
+Run with ``python benchmarks/bench_store.py`` (``--smoke`` for a small CI
+run, ``--output PATH`` to choose the JSON location) or via
+``pytest benchmarks/bench_store.py --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import random
+import string
+import tempfile
+import time
+from functools import partial
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core import FuzzyFDConfig, IntegrationEngine
+from repro.embeddings import MistralEmbedder
+from repro.matching.ann import SemanticBlocker
+from repro.storage import ArtifactStore
+from repro.table import Table
+from repro.utils.executor import ExecutorConfig, run_partitioned
+
+DEFAULT_OUTPUT = "BENCH_store.json"
+
+
+class CountingEmbedder(MistralEmbedder):
+    """MistralEmbedder that counts raw (uncached, unstored) embed calls."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.raw_embeds = 0
+
+    def _embed_text(self, text):
+        self.raw_embeds += 1
+        return super()._embed_text(text)
+
+
+# ---------------------------------------------------------------------------------
+# synthetic workload
+# ---------------------------------------------------------------------------------
+
+
+def request_tables(n_values: int, seed: int = 7) -> List[Table]:
+    """A three-table integration request over ``n_values`` fuzzy city names."""
+    rng = random.Random(seed)
+    alphabet = string.ascii_lowercase
+    cities = []
+    seen = set()
+    while len(cities) < n_values:
+        name = "".join(rng.choice(alphabet) for _ in range(10))
+        if name not in seen:
+            seen.add(name)
+            cities.append(name)
+    population = Table(
+        "population",
+        ["City", "Population"],
+        [(city, str(1000 + row)) for row, city in enumerate(cities)],
+    )
+    transit = Table(
+        "transit",
+        ["City", "Lines"],
+        # One substituted character per name keeps the matcher honest.
+        [(city[:-1] + ("z" if city[-1] != "z" else "q"), str(row))
+         for row, city in enumerate(cities)],
+    )
+    climate = Table(
+        "climate",
+        ["City", "Temp"],
+        [(city, f"{row}.5C") for row, city in enumerate(cities[: n_values // 2])],
+    )
+    return [population, transit, climate]
+
+
+# ---------------------------------------------------------------------------------
+# section 1: cold vs warm engine start
+# ---------------------------------------------------------------------------------
+
+
+def run_warm_start_benchmark(n_values: int = 1500, seed: int = 7) -> Dict[str, float]:
+    """A restarted engine over the published store vs the cold first run."""
+    tables = request_tables(n_values, seed=seed)
+    with tempfile.TemporaryDirectory() as store_dir:
+        def engine() -> IntegrationEngine:
+            return IntegrationEngine(
+                FuzzyFDConfig(
+                    embedder=CountingEmbedder(),
+                    blocking="auto",
+                    store_dir=store_dir,
+                    store_mode="readwrite",
+                )
+            )
+
+        cold_engine = engine()
+        start = time.perf_counter()
+        cold = cold_engine.integrate(tables)
+        cold_seconds = time.perf_counter() - start
+
+        warm_engine = engine()
+        start = time.perf_counter()
+        warm = warm_engine.integrate(tables)
+        warm_seconds = time.perf_counter() - start
+
+        return {
+            "n_values": float(n_values),
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "speedup": cold_seconds / warm_seconds if warm_seconds else float("inf"),
+            "cold_raw_embeds": float(cold_engine.embedder.raw_embeds),
+            "warm_raw_embeds": float(warm_engine.embedder.raw_embeds),
+            "published_rows": cold.timings.get("store_published_rows", 0.0),
+            "warm_store_hits": warm.timings.get("cache_store_hits", 0.0),
+            "identical_output": float(warm.table.rows == cold.table.rows),
+        }
+
+
+# ---------------------------------------------------------------------------------
+# section 2: durable ANN indexes
+# ---------------------------------------------------------------------------------
+
+
+def run_ann_durability_benchmark(n_values: int = 2000, seed: int = 11) -> Dict[str, float]:
+    """Cold LSH build + publish vs a fresh blocker loading the stored codes."""
+    rng = random.Random(seed)
+    alphabet = string.ascii_lowercase
+    left = ["".join(rng.choice(alphabet) for _ in range(10)) for _ in range(n_values)]
+    right = ["".join(rng.choice(alphabet) for _ in range(10)) for _ in range(n_values)]
+    embedder = MistralEmbedder()
+    embedder.embed_many(left)
+    embedder.embed_many(right)  # warm the vectors: isolate the index work
+
+    with tempfile.TemporaryDirectory() as store_dir:
+        cold = SemanticBlocker(
+            embedder, brute_force_cells=1, store=ArtifactStore(store_dir)
+        )
+        start = time.perf_counter()
+        cold_pairs = cold.candidate_pairs(left, right)
+        cold_seconds = time.perf_counter() - start
+
+        warm = SemanticBlocker(
+            embedder, brute_force_cells=1, store=ArtifactStore(store_dir)
+        )
+        start = time.perf_counter()
+        warm_pairs = warm.candidate_pairs(left, right)
+        warm_seconds = time.perf_counter() - start
+
+        return {
+            "n_values": float(n_values),
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "speedup": cold_seconds / warm_seconds if warm_seconds else float("inf"),
+            "cold_builds": float(cold.index_builds),
+            "cold_saves": float(cold.index_saves),
+            "warm_loads": float(warm.index_loads),
+            "warm_builds": float(warm.index_builds),
+            "identical_pairs": float(warm_pairs == cold_pairs),
+        }
+
+
+# ---------------------------------------------------------------------------------
+# section 3: process hand-off — pickled rows vs shared memmaps
+# ---------------------------------------------------------------------------------
+
+
+def _row_norm_shared(index: int, matrix: np.ndarray) -> float:
+    """Worker body for the ``shared=`` hand-off (matrix arrives as a kwarg)."""
+    return float(np.linalg.norm(matrix[index]))
+
+
+def _row_norm_captured(index: int, matrix: np.ndarray) -> float:
+    """Worker body with the matrix captured — pickled into every batch."""
+    return float(np.linalg.norm(matrix[index]))
+
+
+def run_process_handoff_benchmark(
+    n_rows: int = 20_000, dimension: int = 256, workers: int = 2
+) -> Dict[str, float]:
+    """Shipping one embedding matrix to process workers, both ways."""
+    rng = np.random.default_rng(3)
+    matrix = rng.standard_normal((n_rows, dimension))
+    items = list(range(n_rows))
+    config = ExecutorConfig(
+        backend="process", max_workers=workers, min_parallel_items=2
+    )
+
+    captured_fn = partial(_row_norm_captured, matrix=matrix)
+    start = time.perf_counter()
+    captured = run_partitioned(items, captured_fn, config)
+    captured_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    shared = run_partitioned(
+        items, _row_norm_shared, config, shared={"matrix": matrix}
+    )
+    shared_seconds = time.perf_counter() - start
+
+    return {
+        "n_rows": float(n_rows),
+        "dimension": float(dimension),
+        "workers": float(workers),
+        "matrix_bytes": float(matrix.nbytes),
+        "captured_pickle_bytes": float(len(pickle.dumps(captured_fn))),
+        "captured_seconds": captured_seconds,
+        "shared_seconds": shared_seconds,
+        "speedup": captured_seconds / shared_seconds if shared_seconds else float("inf"),
+        "identical_results": float(shared == captured),
+    }
+
+
+# ---------------------------------------------------------------------------------
+# section 4: the store never changes results
+# ---------------------------------------------------------------------------------
+
+
+def run_identity_check(n_values: int = 400, seed: int = 13) -> Dict[str, float]:
+    """Store-off vs cold store vs warm store: byte-identical output tables."""
+    tables = request_tables(n_values, seed=seed)
+    knobs = dict(blocking="auto", semantic_blocking="auto")
+    baseline = IntegrationEngine(FuzzyFDConfig(**knobs)).integrate(tables)
+    with tempfile.TemporaryDirectory() as store_dir:
+        stored = dict(knobs, store_dir=store_dir, store_mode="readwrite")
+        cold = IntegrationEngine(FuzzyFDConfig(**stored)).integrate(tables)
+        warm = IntegrationEngine(FuzzyFDConfig(**stored)).integrate(tables)
+    return {
+        "n_values": float(n_values),
+        "cold_identical": float(cold.table.rows == baseline.table.rows),
+        "warm_identical": float(warm.table.rows == baseline.table.rows),
+    }
+
+
+# ---------------------------------------------------------------------------------
+# reports + JSON
+# ---------------------------------------------------------------------------------
+
+
+def report(results: Dict[str, object]) -> str:
+    warm_start = results["warm_start"]
+    ann = results["ann_durability"]
+    handoff = results["process_handoff"]
+    identity = results["identity"]
+    lines = [
+        "",
+        "Benchmark — persistent artifact store",
+        "",
+        (
+            f"Warm start ({warm_start['n_values']:,.0f} values/side): "
+            f"{warm_start['cold_seconds']:.2f}s cold ({warm_start['cold_raw_embeds']:,.0f} "
+            f"raw embeds, {warm_start['published_rows']:,.0f} rows published) -> "
+            f"{warm_start['warm_seconds']:.2f}s warm "
+            f"({warm_start['warm_raw_embeds']:,.0f} raw embeds, "
+            f"{warm_start['warm_store_hits']:,.0f} store hits) — "
+            f"{warm_start['speedup']:.1f}x, identical output: "
+            f"{bool(warm_start['identical_output'])}"
+        ),
+        "",
+        (
+            f"Durable ANN indexes ({ann['n_values']:,.0f} values/side): "
+            f"{ann['cold_seconds']:.2f}s cold ({ann['cold_builds']:.0f} builds, "
+            f"{ann['cold_saves']:.0f} saves) -> {ann['warm_seconds']:.2f}s warm "
+            f"({ann['warm_loads']:.0f} loads, {ann['warm_builds']:.0f} rebuilds) — "
+            f"{ann['speedup']:.1f}x, identical pairs: {bool(ann['identical_pairs'])}"
+        ),
+        "",
+        (
+            f"Process hand-off ({handoff['n_rows']:,.0f}x{handoff['dimension']:.0f} "
+            f"matrix, {handoff['matrix_bytes'] / 1e6:.0f} MB, "
+            f"{handoff['workers']:.0f} workers): "
+            f"{handoff['captured_seconds']:.2f}s pickled-per-batch "
+            f"({handoff['captured_pickle_bytes'] / 1e6:.0f} MB per pickle) -> "
+            f"{handoff['shared_seconds']:.2f}s shared memmap — "
+            f"{handoff['speedup']:.1f}x, identical results: "
+            f"{bool(handoff['identical_results'])}"
+        ),
+        "",
+        (
+            f"Identity ({identity['n_values']:,.0f} values/side, semantic blocking on): "
+            f"store-off == cold store: {bool(identity['cold_identical'])}, "
+            f"store-off == warm store: {bool(identity['warm_identical'])}"
+        ),
+    ]
+    return "\n".join(lines)
+
+
+def run_all(
+    n_values: int = 1500,
+    ann_values: int = 2000,
+    handoff_rows: int = 20_000,
+    identity_values: int = 400,
+) -> Dict[str, object]:
+    """Run every section at the given scale (the JSON payload)."""
+    return {
+        "benchmark": "bench-store",
+        "warm_start": run_warm_start_benchmark(n_values=n_values),
+        "ann_durability": run_ann_durability_benchmark(n_values=ann_values),
+        "process_handoff": run_process_handoff_benchmark(n_rows=handoff_rows),
+        "identity": run_identity_check(n_values=identity_values),
+    }
+
+
+def write_json(results: Dict[str, object], path: str = DEFAULT_OUTPUT) -> Path:
+    """Persist the benchmark payload (the CI artifact)."""
+    output = Path(path)
+    output.write_text(json.dumps(results, indent=2, sort_keys=True), encoding="utf-8")
+    return output
+
+
+# ---------------------------------------------------------------------------------
+# pytest-benchmark entry points
+# ---------------------------------------------------------------------------------
+
+
+def test_warm_start(benchmark):
+    warm_start = benchmark.pedantic(
+        run_warm_start_benchmark, kwargs={"n_values": 600}, rounds=1, iterations=1
+    )
+    assert warm_start["warm_raw_embeds"] == 0.0
+    assert warm_start["identical_output"] == 1.0
+    assert warm_start["speedup"] > 1.0
+
+
+def test_ann_durability(benchmark):
+    ann = benchmark.pedantic(
+        run_ann_durability_benchmark, kwargs={"n_values": 800}, rounds=1, iterations=1
+    )
+    assert ann["warm_builds"] == 0.0
+    assert ann["identical_pairs"] == 1.0
+
+
+def test_process_handoff(benchmark):
+    handoff = benchmark.pedantic(
+        run_process_handoff_benchmark, kwargs={"n_rows": 4000}, rounds=1, iterations=1
+    )
+    assert handoff["identical_results"] == 1.0
+
+
+def test_identity(benchmark):
+    identity = benchmark.pedantic(
+        run_identity_check, kwargs={"n_values": 200}, rounds=1, iterations=1
+    )
+    assert identity["cold_identical"] == 1.0
+    assert identity["warm_identical"] == 1.0
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="small, CI-friendly run (hundreds of values)"
+    )
+    parser.add_argument(
+        "--output", default=DEFAULT_OUTPUT, help="where to write the JSON payload"
+    )
+    arguments = parser.parse_args()
+    if arguments.smoke:
+        payload = run_all(
+            n_values=400, ann_values=600, handoff_rows=4000, identity_values=150
+        )
+    else:
+        payload = run_all()
+    print(report(payload))
+    destination = write_json(payload, arguments.output)
+    print(f"\nwrote {destination}")

@@ -107,6 +107,8 @@ _INTEGRATE_CONFIG_FLAGS = (
     "ann_top_k",
     "max_workers",
     "parallel_backend",
+    "store_dir",
+    "store_mode",
 )
 
 
@@ -123,6 +125,15 @@ def _build_config(args: argparse.Namespace) -> FuzzyFDConfig:
         overrides = {
             knob: getattr(args, knob) for knob in _INTEGRATE_CONFIG_FLAGS if knob in explicit
         }
+        if (
+            overrides.get("store_dir")
+            and "store_mode" not in explicit
+            and config.store_mode == "off"
+        ):
+            # --store-dir alone should engage persistence: lift the config's
+            # "off" to the flag's readwrite default.  A preset or JSON that
+            # chose "read"/"readwrite" (or an explicit --store-mode) wins.
+            overrides["store_mode"] = "readwrite"
         return config.replace(**overrides) if overrides else config
     except (ValueError, TypeError, OSError) as error:
         raise SystemExit(f"error: {error}") from None
@@ -308,6 +319,24 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["serial", "thread", "process"],
         action=_TrackedStore,
         help="executor backend used when --workers > 1",
+    )
+    integrate_parser.add_argument(
+        "--store-dir",
+        dest="store_dir",
+        default=None,
+        action=_TrackedStore,
+        help="directory of the persistent artifact store (memmapped embeddings "
+        "and durable ANN indexes); repeated invocations over the same values "
+        "start warm",
+    )
+    integrate_parser.add_argument(
+        "--store-mode",
+        dest="store_mode",
+        default="readwrite",
+        choices=["off", "read", "readwrite"],
+        action=_TrackedStore,
+        help="how --store-dir is used: readwrite (attach and publish, the "
+        "default), read (attach only), off (ignore the directory)",
     )
     integrate_parser.add_argument("--max-rows", type=int, default=20, help="rows to print without --output")
     integrate_parser.add_argument("--show-rewrites", action="store_true", help="print the value rewrites applied")

@@ -30,6 +30,7 @@ from repro.fd.base import FullDisjunctionAlgorithm
 from repro.matching.assignment import ASSIGNMENT_SOLVERS, AssignmentSolver
 from repro.registry import Registry
 from repro.schema_matching.strategies import ALIGNMENT_STRATEGIES
+from repro.storage.store import STORE_MODES
 from repro.utils.executor import EXECUTOR_BACKENDS, ExecutorConfig
 
 
@@ -109,6 +110,18 @@ class FuzzyFDConfig:
         parallelism for pure-Python closures at a pickling cost), or
         ``"serial"`` (force the plain loop regardless of ``max_workers``).
         Results are identical across backends by construction.
+    store_dir:
+        Directory of the persistent artifact store
+        (:class:`~repro.storage.store.ArtifactStore`): memmapped embedding
+        segments and durable ANN indexes that make a restarted engine warm.
+        ``None`` (the default) disables persistence entirely.  Stored as a
+        plain string so configurations stay JSON-serialisable.
+    store_mode:
+        How the store is used when ``store_dir`` is set: ``"readwrite"``
+        (attach and publish), ``"read"`` (attach existing artifacts, never
+        write — e.g. many engines sharing one store only one of them owns),
+        or ``"off"`` (ignore the directory).  The store never changes
+        results, only whether artifacts are recomputed or loaded.
     """
 
     embedder: Union[str, ValueEmbedder] = "mistral"
@@ -127,6 +140,8 @@ class FuzzyFDConfig:
     alignment: str = "by_name"
     max_workers: int = 1
     parallel_backend: str = "thread"
+    store_dir: Optional[str] = None
+    store_mode: str = "off"
 
     def __post_init__(self) -> None:
         if not 0.0 < self.threshold <= 1.0:
@@ -166,6 +181,14 @@ class FuzzyFDConfig:
                 f"parallel_backend must be one of {list(EXECUTOR_BACKENDS)}, "
                 f"got {self.parallel_backend!r}"
             )
+        if self.store_mode not in STORE_MODES:
+            raise ValueError(
+                f"store_mode must be one of {list(STORE_MODES)}, got {self.store_mode!r}"
+            )
+        if self.store_dir is not None:
+            # Paths are accepted for convenience but held as strings so
+            # to_dict()/to_json() stay plainly serialisable.
+            self.store_dir = str(self.store_dir)
         # Every registry-resolved knob is checked here, at construction, so an
         # unknown name can never survive into the pipeline's hot path.
         if isinstance(self.embedder, str):
@@ -204,6 +227,19 @@ class FuzzyFDConfig:
     def executor_config(self) -> ExecutorConfig:
         """The parallel-execution settings as an :class:`ExecutorConfig`."""
         return ExecutorConfig(backend=self.parallel_backend, max_workers=self.max_workers)
+
+    def build_store(self):
+        """The configured :class:`~repro.storage.store.ArtifactStore`, or ``None``.
+
+        ``None`` when persistence is disabled — no directory configured, or
+        ``store_mode="off"``.  A ``"read"``-mode store over a directory that
+        does not exist yet is simply empty (nothing is created on disk).
+        """
+        if self.store_dir is None or self.store_mode == "off":
+            return None
+        from repro.storage.store import ArtifactStore
+
+        return ArtifactStore(self.store_dir, self.store_mode)
 
     # -- derived configurations ---------------------------------------------------
     def replace(self, **overrides: Any) -> "FuzzyFDConfig":
@@ -275,7 +311,8 @@ class FuzzyFDConfig:
 #: assignment); ``"scale"`` keeps the paper's models but engages blocking
 #: (with the semantic ANN channel on ``"auto"``), the partitioned FD
 #: substrate and the parallel execution layer (4 thread workers) for wide
-#: data-lake inputs.
+#: data-lake inputs; it also opts into ``store_mode="readwrite"`` so that a
+#: caller who supplies ``store_dir`` gets persistent, warm-startable state.
 PRESETS: Registry[Dict[str, Any]] = Registry(
     "config preset",
     {
@@ -291,6 +328,9 @@ PRESETS: Registry[Dict[str, Any]] = Registry(
             "fd_algorithm": "partitioned",
             "max_workers": 4,
             "parallel_backend": "thread",
+            # Persistence engages once the caller supplies store_dir; the
+            # preset only declares the intent to both attach and publish.
+            "store_mode": "readwrite",
         },
     },
 )

@@ -25,6 +25,15 @@ serves a batch of requests over a bounded thread pool (the embedding cache is
 thread-safe and matchers are per-worker-thread), and the ``max_workers`` /
 ``parallel_backend`` config knobs additionally parallelise the inside of a
 single request (component-wise matching, partitioned FD).
+
+With ``store_dir`` configured the warmth outlives the process: construction
+attaches a :class:`~repro.storage.cache.StoreBackedEmbeddingCache` (so a
+restarted engine serves every previously embedded value without one raw
+embed call), the semantic blocker loads its LSH codes instead of rebuilding
+them, and a ``readwrite`` engine publishes newly embedded values back after
+each request.  ``store_mode`` is also a per-request override — a single
+request can run with the store read-only (``"read"``) or bypassed
+(``"off"``) without touching the engine's configuration.
 """
 
 from __future__ import annotations
@@ -42,6 +51,8 @@ from repro.fd.base import FullDisjunctionAlgorithm, FullDisjunctionResult
 from repro.matching.assignment import AssignmentSolver
 from repro.schema_matching.alignment import ColumnAlignment
 from repro.schema_matching.strategies import ALIGNMENT_STRATEGIES
+from repro.storage.cache import StoreBackedEmbeddingCache
+from repro.storage.store import ArtifactStore
 from repro.table.table import Table
 from repro.utils.executor import ExecutorConfig, run_partitioned
 
@@ -59,6 +70,7 @@ REQUEST_OVERRIDES = (
     "ann_top_k",
     "max_workers",
     "parallel_backend",
+    "store_mode",
 )
 
 #: Overrides for which ``None`` is a meaningful value (not "use the engine
@@ -156,6 +168,20 @@ class IntegrationEngine:
         self.embedder: ValueEmbedder = config.resolve_embedder()
         self.solver: AssignmentSolver = config.resolve_solver()
         self.fd_algorithm: FullDisjunctionAlgorithm = config.resolve_fd_algorithm()
+        #: The persistent artifact store, or ``None`` when persistence is off.
+        self.store: Optional[ArtifactStore] = config.build_store()
+        self._store_cache: Optional[StoreBackedEmbeddingCache] = None
+        if self.store is not None:
+            # The warm start: constructing the tiered cache attaches every
+            # published segment of this embedder, so values embedded by any
+            # previous run are served from memmaps — zero raw embed calls.
+            self._store_cache = StoreBackedEmbeddingCache(
+                self.store,
+                self.embedder.name,
+                self.embedder.dimension,
+                max_entries=self.embedder.cache.max_entries,
+            )
+            self.embedder.use_cache(self._store_cache)
         self.requests_served = 0
         # One ValueMatcher per distinct override combination; all share the
         # engine's embedder (and therefore its thread-safe cache) and solver.
@@ -170,6 +196,28 @@ class IntegrationEngine:
     def embedding_cache(self) -> EmbeddingCache:
         """The warm embedding cache shared by every request."""
         return self.embedder.cache
+
+    def save(self) -> Dict[str, int]:
+        """Publish the pending in-memory artifacts to the store.
+
+        Embedding vectors computed since the last publication become one new
+        memmapped segment (ANN indexes publish themselves at build time, so
+        nothing further is needed for them).  Returns ``{"embedding_rows":
+        n}`` — ``0`` when there is no store, it is read-only, or nothing new
+        was embedded.  :meth:`integrate` already calls this after every
+        request on a ``readwrite`` engine; explicit calls matter for flows
+        that only embed (e.g. :meth:`align` with the holistic strategy).
+        """
+        rows = 0
+        if self._store_cache is not None:
+            rows = self._store_cache.publish()
+        return {"embedding_rows": rows}
+
+    def store_statistics(self) -> Dict[str, int]:
+        """Counters of the artifact store (empty dict when persistence is off)."""
+        if self.store is None:
+            return {}
+        return self.store.statistics()
 
     def __repr__(self) -> str:
         return (
@@ -255,6 +303,15 @@ class IntegrationEngine:
                 ),
                 default=0.0,
             )
+        # Cache and durable-index observability: the per-group deltas the
+        # matcher recorded, summed into the request's timing dict (they are
+        # counters, not durations — like the blocking_* keys above).
+        observability: Dict[str, float] = {}
+        for result in value_matching.values():
+            for key, value in result.statistics.items():
+                if key.startswith("cache_") or key.startswith("ann_index_"):
+                    observability[key] = observability.get(key, 0.0) + value
+        timings.update(observability)
         return MatchStage(
             alignment=alignment,
             value_matching=value_matching,
@@ -359,6 +416,14 @@ class IntegrationEngine:
         fd_result = fd.integrate(staged.tables)
         timings["full_disjunction_seconds"] = time.perf_counter() - start
 
+        if self._store_cache is not None and effective.store_mode == "readwrite":
+            # Newly embedded values become durable as soon as the request
+            # that embedded them completes — the next engine starts warm
+            # without anyone remembering to call save().
+            published = self._store_cache.publish()
+            if published:
+                timings["store_published_rows"] = float(published)
+
         with self._served_lock:
             self.requests_served += 1
         return FuzzyIntegrationResult(
@@ -436,6 +501,7 @@ class IntegrationEngine:
             effective.ann_top_k,
             effective.max_workers,
             effective.parallel_backend,
+            effective.store_mode,
         )
         matcher = matchers.get(key)
         if matcher is None:
@@ -454,9 +520,25 @@ class IntegrationEngine:
                 ann_top_k=effective.ann_top_k,
                 max_workers=effective.max_workers,
                 parallel_backend=effective.parallel_backend,
+                store=self._store_for(effective.store_mode),
             )
             matchers[key] = matcher
         return matcher
+
+    def _store_for(self, store_mode: str) -> Optional[ArtifactStore]:
+        """The store view a request's matcher uses under ``store_mode``.
+
+        ``"off"`` hands the matcher no store at all (the ANN channel rebuilds
+        its codes in memory; results are identical).  The modes only apply
+        when the *engine* has a store — ``store_dir`` is engine-level state,
+        so a per-request override can restrict the store's use but never
+        conjure one up.  Views share the engine store's counters.  Note the
+        embedding cache tier is engine-level and stays attached regardless:
+        it, too, never changes results, only where vectors come from.
+        """
+        if self.store is None or store_mode == "off":
+            return None
+        return self.store.with_mode(store_mode)
 
     def _resolve_fd(
         self,

@@ -40,6 +40,7 @@ from repro.matching.blocking import (
 )
 from repro.matching.clustering import ValueMatchSet
 from repro.matching.distance import EmbeddingDistance
+from repro.storage.store import ArtifactStore
 from repro.utils.executor import ExecutorConfig
 
 #: Cell count (``|left| × |right|``) at which ``blocking="auto"`` switches a
@@ -165,6 +166,7 @@ class ValueMatcher:
         ann_top_k: int = DEFAULT_ANN_TOP_K,
         max_workers: int = 1,
         parallel_backend: str = "thread",
+        store: Optional[ArtifactStore] = None,
     ) -> None:
         if blocking not in ("off", "on", "auto"):
             raise ValueError(f"blocking must be 'off', 'on' or 'auto', got {blocking!r}")
@@ -202,6 +204,8 @@ class ValueMatcher:
         # blocking is off (so a bad ann_top_k never hides behind blocking).
         # Its similarity floor is 1 - θ: pairs below it are unmatchable under
         # the threshold, so emitting them would only weld components.
+        # The store (when given) makes the ANN hash state durable — loaded
+        # codes replace rebuilt ones, candidates stay identical either way.
         semantic_blocker = (
             SemanticBlocker(
                 embedder,
@@ -209,6 +213,7 @@ class ValueMatcher:
                 n_tables=ann_tables,
                 n_bits=ann_bits,
                 min_similarity=max(0.0, 1.0 - threshold),
+                store=store,
             )
             if semantic_blocking != "off"
             else None
@@ -242,6 +247,26 @@ class ValueMatcher:
         if not columns:
             return ValueMatchingResult(sets=[], column_order={})
         start = time.perf_counter()
+        # Cache and durable-index counters are cumulative over the embedder's
+        # (and blocker's) lifetime; snapshotting them here turns the run into
+        # a per-request delta.  Concurrent requests sharing one embedder can
+        # bleed into each other's deltas — the counters are observability,
+        # not accounting, so approximate under concurrency is acceptable.
+        cache_before = self.embedder.cache.stats()
+        semantic_blocker = (
+            self._blocked_matcher.semantic_blocker
+            if self._blocked_matcher is not None
+            else None
+        )
+        ann_before = (
+            (
+                semantic_blocker.index_loads,
+                semantic_blocker.index_builds,
+                semantic_blocker.index_saves,
+            )
+            if semantic_blocker is not None
+            else (0, 0, 0)
+        )
         column_order = {column.column_id: index for index, column in enumerate(columns)}
         frequencies = self._global_frequencies(columns)
         statistics: Dict[str, float] = {
@@ -331,6 +356,23 @@ class ValueMatcher:
         statistics["accepted_matches"] = float(accepted)
         statistics["match_sets"] = float(len(groups))
         statistics["elapsed_seconds"] = elapsed
+
+        cache_after = self.embedder.cache.stats()
+        for counter in ("hits", "misses", "fills", "store_hits", "store_misses"):
+            if counter in cache_after:
+                statistics[f"cache_{counter}"] = float(
+                    max(0, cache_after[counter] - cache_before.get(counter, 0))
+                )
+        if semantic_blocker is not None:
+            statistics["ann_index_loads"] = float(
+                semantic_blocker.index_loads - ann_before[0]
+            )
+            statistics["ann_index_builds"] = float(
+                semantic_blocker.index_builds - ann_before[1]
+            )
+            statistics["ann_index_saves"] = float(
+                semantic_blocker.index_saves - ann_before[2]
+            )
 
         sets = [
             ValueMatchSet(members=sorted(group.members, key=lambda key: (str(key[0]), str(key[1]))),

@@ -31,6 +31,17 @@ class ValueEmbedder(abc.ABC):
         """The embedding cache (long-lived engines read its hit/miss stats)."""
         return self._cache
 
+    def use_cache(self, cache: "EmbeddingCache") -> None:
+        """Swap in a different cache (e.g. a store-backed tiered cache).
+
+        The :class:`~repro.core.engine.IntegrationEngine` calls this right
+        after resolving the embedder to attach a
+        :class:`~repro.storage.cache.StoreBackedEmbeddingCache` when a store
+        directory is configured — the embedder's embed paths are unchanged;
+        only where vectors are looked up and kept differs.
+        """
+        self._cache = cache
+
     def embed(self, value: object) -> np.ndarray:
         """Return the unit-norm embedding of one cell value."""
         text = "" if value is None else str(value)
@@ -114,6 +125,7 @@ class EmbeddingCache:
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.fills = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -165,15 +177,16 @@ class EmbeddingCache:
         """
         key = (model, text)
         with self._lock:
-            if (
-                self.max_entries is not None
-                and key not in self._store
-                and len(self._store) >= self.max_entries
-                and self._store
-            ):
-                # Simple eviction: drop the oldest inserted entry.
-                oldest = next(iter(self._store))
-                del self._store[oldest]
+            if key not in self._store:
+                self.fills += 1
+                if (
+                    self.max_entries is not None
+                    and len(self._store) >= self.max_entries
+                    and self._store
+                ):
+                    # Simple eviction: drop the oldest inserted entry.
+                    oldest = next(iter(self._store))
+                    del self._store[oldest]
             self._store[key] = vector
 
     def clear(self) -> None:
@@ -182,11 +195,23 @@ class EmbeddingCache:
             self._store.clear()
             self.hits = 0
             self.misses = 0
+            self.fills = 0
 
     def stats(self) -> Dict[str, int]:
-        """Return hit/miss/size counters (one consistent snapshot)."""
+        """Return hit/miss/fill/size counters (one consistent snapshot).
+
+        ``fills`` counts vectors inserted (first-time keys), so
+        ``misses - fills`` over a window is the duplicate-embed overlap of
+        concurrent cold lookups.  Subclasses (the store-backed cache) extend
+        the dict with their tier's counters.
+        """
         with self._lock:
-            return {"hits": self.hits, "misses": self.misses, "size": len(self._store)}
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "fills": self.fills,
+                "size": len(self._store),
+            }
 
 
 def mean_pool(vectors: Iterable[np.ndarray], dimension: int) -> np.ndarray:

@@ -13,6 +13,7 @@ from repro.evaluation.metrics import (
 )
 from repro.evaluation.runtime import RuntimePoint, runtime_sweep
 from repro.evaluation.reporting import (
+    format_cache_statistics,
     format_component_histogram,
     format_markdown_table,
     format_scores_table,
@@ -25,6 +26,7 @@ __all__ = [
     "macro_average",
     "RuntimePoint",
     "runtime_sweep",
+    "format_cache_statistics",
     "format_component_histogram",
     "format_markdown_table",
     "format_scores_table",

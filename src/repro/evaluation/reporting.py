@@ -84,6 +84,49 @@ def format_component_histogram(source, width: int = 30) -> str:
     return format_markdown_table(["Component cells", "Count", "Share", "Histogram"], rows)
 
 
+def format_cache_statistics(source: Mapping[str, float]) -> str:
+    """Render the cache / durable-index counters of one request.
+
+    ``source`` is a timings dict from
+    :class:`~repro.core.engine.FuzzyIntegrationResult` (or a
+    :class:`~repro.core.value_matching.ValueMatchingResult` statistics dict):
+    the ``cache_*`` and ``ann_index_*`` counters it carries, plus the
+    ``store_published_rows`` entry, are the request's storage story — how
+    many vector lookups the hot tier answered, how many the memmapped store
+    tier answered (a warm start shows every lookup here and zero misses),
+    how many had to be embedded raw, and whether ANN indexes were loaded or
+    rebuilt.  Counters absent from ``source`` render as 0 rows only when at
+    least one storage counter is present at all; a dict with no storage
+    counters raises, as rendering it would silently claim "no cache
+    activity" for a run that simply predates the counters.
+    """
+    rows_spec = [
+        ("Hot-tier hits", "cache_hits"),
+        ("Store-tier hits (memmap)", "cache_store_hits"),
+        ("Misses (raw embeds)", "cache_misses"),
+        ("Cache fills", "cache_fills"),
+        ("Store-tier misses", "cache_store_misses"),
+        ("ANN indexes loaded", "ann_index_loads"),
+        ("ANN indexes built", "ann_index_builds"),
+        ("ANN indexes published", "ann_index_saves"),
+        ("Embedding rows published", "store_published_rows"),
+    ]
+    if not any(key in source for _, key in rows_spec):
+        raise ValueError(
+            "source carries no cache or store counters (cache_*, ann_index_*, "
+            "store_published_rows); pass a FuzzyIntegrationResult.timings or "
+            "ValueMatchingResult.statistics dict from a storage-aware run"
+        )
+    rows = [[label, f"{float(source.get(key, 0.0)):,.0f}"] for label, key in rows_spec]
+    lookups = float(source.get("cache_hits", 0.0)) + float(
+        source.get("cache_store_hits", 0.0)
+    ) + float(source.get("cache_misses", 0.0))
+    if lookups:
+        served = lookups - float(source.get("cache_misses", 0.0))
+        rows.append(["Lookups served without raw embed", f"{100.0 * served / lookups:.1f}%"])
+    return format_markdown_table(["Counter", "Value"], rows)
+
+
 def format_runtime_series(points: Sequence) -> str:
     """Render the Figure 3 series: size | regular FD seconds | fuzzy FD seconds."""
     by_size: Dict[int, Dict[str, float]] = {}

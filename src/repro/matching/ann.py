@@ -35,15 +35,30 @@ Determinism: hyperplanes come from a seeded :func:`numpy.random.default_rng`,
 bucket iteration follows input positions, and every top-k selection breaks
 ties by index via stable sorts — two runs with the same seed over the same
 values produce identical candidate sets, on any backend.
+
+With an :class:`~repro.storage.store.ArtifactStore` attached, the LSH hash
+state becomes durable: the hyperplane stack and each value list's code matrix
+are published under ``(embedder fingerprint, LSH-parameter fingerprint,
+ordered corpus fingerprint)`` and loaded back on the next encounter of the
+same corpus — a restarted engine re-blocks a known column without rebuilding
+a single code.  ``index_loads`` / ``index_builds`` / ``index_saves`` count
+what happened; the stored artifact only short-circuits the hash computation,
+so candidates are identical with and without the store.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.embeddings.base import ValueEmbedder
+from repro.storage.fingerprint import (
+    ann_params_fingerprint,
+    corpus_fingerprint,
+    embedder_fingerprint,
+)
+from repro.storage.store import ArtifactStore
 
 #: Default number of LSH hash tables.  More tables raise recall (a pair only
 #: needs to collide once) at linearly more probing work.
@@ -106,6 +121,14 @@ class SemanticBlocker:
         ``pairs_scored`` toward the dense cross product.  Callers that know
         θ should pass ``1 - θ`` (the blocked matcher's configuration layer
         does); ``0.0`` disables the floor.
+    store:
+        Optional :class:`~repro.storage.store.ArtifactStore` making the LSH
+        hash state durable.  Codes are keyed by the *ordered* corpus
+        fingerprint of the value list (column ``i`` codes value ``i``), the
+        embedder fingerprint and the ``(n_tables, n_bits, seed)`` parameter
+        fingerprint; ``top_k`` / ``min_similarity`` are retrieval-time knobs
+        and deliberately not part of the key.  The store never changes the
+        emitted candidates — only whether codes are computed or loaded.
     """
 
     def __init__(
@@ -117,6 +140,7 @@ class SemanticBlocker:
         seed: int = DEFAULT_ANN_SEED,
         brute_force_cells: int = DEFAULT_BRUTE_FORCE_CELLS,
         min_similarity: float = 0.0,
+        store: Optional[ArtifactStore] = None,
     ) -> None:
         if top_k < 1:
             raise ValueError(f"top_k must be >= 1, got {top_k}")
@@ -135,9 +159,18 @@ class SemanticBlocker:
         self.seed = seed
         self.brute_force_cells = brute_force_cells
         self.min_similarity = min_similarity
+        self.store = store
         #: Whether the last :meth:`candidate_pairs` call used the LSH index
         #: (``False`` means the exact brute-force path ran).
         self.last_used_lsh = False
+        #: Durable-index accounting: code matrices loaded from the store,
+        #: computed from scratch, and published.  ``index_builds == 0`` over a
+        #: warm run is the "zero ANN rebuilds" guarantee the engine surfaces.
+        self.index_loads = 0
+        self.index_builds = 0
+        self.index_saves = 0
+        self._embedder_fp = embedder_fingerprint(embedder.name, embedder.dimension)
+        self._params_fp = ann_params_fingerprint(n_tables, n_bits, seed)
         # Hyperplanes are a function of (seed, tables, bits, dimension) only,
         # so they are drawn once and shared by every candidate_pairs call.
         self._planes: Dict[int, np.ndarray] = {}
@@ -157,7 +190,14 @@ class SemanticBlocker:
             pairs = self._brute_force_pairs(left_vectors, right_vectors)
         else:
             self.last_used_lsh = True
-            pairs = self._lsh_pairs(left_vectors, right_vectors)
+            if self.store is not None:
+                # The same text conversion embed_many applies, so the ordered
+                # corpus fingerprint names exactly the rows that were embedded.
+                left_texts = ["" if value is None else str(value) for value in left_values]
+                right_texts = ["" if value is None else str(value) for value in right_values]
+            else:
+                left_texts = right_texts = None
+            pairs = self._lsh_pairs(left_vectors, right_vectors, left_texts, right_texts)
         return sorted(pairs)
 
     # -- exact path -----------------------------------------------------------------
@@ -208,8 +248,46 @@ class SemanticBlocker:
             codes[table] = bits @ weights
         return codes
 
+    def _durable_codes(
+        self, vectors: np.ndarray, texts: Optional[List[str]], dimension: int
+    ) -> np.ndarray:
+        """Load the value list's code matrix from the store, or build it.
+
+        A stored index short-circuits the hash computation only; a cache miss
+        (or no store at all) computes the codes exactly as before and — when
+        the store is writable — publishes them for the next run.  On a hit
+        the stored hyperplanes seed the in-memory memo, so any codes built
+        later in this process hash against the very same planes.
+        """
+        if self.store is None or texts is None:
+            self.index_builds += 1
+            return self._codes(vectors, self._hyperplanes(dimension))
+        corpus_fp = corpus_fingerprint(texts, ordered=True)
+        loaded = self.store.load_ann_index(self._embedder_fp, self._params_fp, corpus_fp)
+        if loaded is not None:
+            planes, codes = loaded
+            if planes.shape == (self.n_tables, self.n_bits, dimension) and codes.shape == (
+                self.n_tables,
+                vectors.shape[0],
+            ):
+                self._planes.setdefault(dimension, planes)
+                self.index_loads += 1
+                return codes
+        planes = self._hyperplanes(dimension)
+        codes = self._codes(vectors, planes)
+        self.index_builds += 1
+        if self.store.can_write and self.store.save_ann_index(
+            self._embedder_fp, self._params_fp, corpus_fp, planes, codes
+        ):
+            self.index_saves += 1
+        return codes
+
     def _lsh_pairs(
-        self, left_vectors: np.ndarray, right_vectors: np.ndarray
+        self,
+        left_vectors: np.ndarray,
+        right_vectors: np.ndarray,
+        left_texts: Optional[List[str]] = None,
+        right_texts: Optional[List[str]] = None,
     ) -> Set[Tuple[int, int]]:
         """Multi-table, single-bit-multiprobe LSH retrieval, both directions.
 
@@ -219,9 +297,9 @@ class SemanticBlocker:
         nearest lefts all have ``top_k`` closer neighbours of their own —
         and a starved value never enters the candidate graph at all.
         """
-        planes = self._hyperplanes(left_vectors.shape[1])
-        left_codes = self._codes(left_vectors, planes)
-        right_codes = self._codes(right_vectors, planes)
+        dimension = left_vectors.shape[1]
+        left_codes = self._durable_codes(left_vectors, left_texts, dimension)
+        right_codes = self._durable_codes(right_vectors, right_texts, dimension)
         pairs = self._probe_direction(left_vectors, left_codes, right_vectors, right_codes)
         reverse = self._probe_direction(right_vectors, right_codes, left_vectors, left_codes)
         pairs.update((left_index, right_index) for right_index, left_index in reverse)

@@ -32,8 +32,12 @@ Two executions of step 4 are layered on top of the decomposition:
 * **Parallel component solving.**  The remaining general components are
   independent, so they are scored and solved through
   :func:`repro.utils.executor.run_partitioned` (serial, thread or process
-  backend, weight-balanced batches).  The merge is positional, so the result
-  is byte-identical to the serial loop for every backend and worker count.
+  backend, weight-balanced batches).  Each work item carries only the
+  component's *row indices*; the embedding matrices travel through the
+  executor's ``shared=`` hand-off, so process workers attach them as
+  read-only memmaps instead of receiving pickled embedding rows.  The merge
+  is positional, so the result is byte-identical to the serial loop for
+  every backend and worker count.
 
 Non-candidate cells inside a component keep a prohibitive cost so the
 semantics stay "each value matched at most once, never above the threshold θ,
@@ -349,19 +353,27 @@ class ValueBlocker:
 
 def _score_and_solve_component(
     payload: Tuple[np.ndarray, np.ndarray, Optional[np.ndarray], Optional[np.ndarray]],
+    left_matrix: np.ndarray,
+    right_matrix: np.ndarray,
     solver: AssignmentSolver,
     threshold: float,
 ) -> List[Tuple[int, int, float]]:
     """Score and solve one general component; the executor's work unit.
 
-    ``payload`` is ``(left_block, right_block, pair_rows, pair_cols)``: the
-    component's embedding rows plus the component-local coordinates of its
-    candidate cells (``None`` when the component is complete).  Module-level
-    (and fed picklable arguments) so the process backend can ship it.
-    Returns accepted ``(row, column, distance)`` triples in solver order.
+    ``payload`` is ``(left_rows, right_rows, pair_rows, pair_cols)``: the
+    component's *row indices* into the shared embedding matrices plus the
+    component-local coordinates of its candidate cells (``None`` when the
+    component is complete).  The matrices themselves arrive through the
+    executor's ``shared=`` hand-off — on the process backend the workers
+    attach them as read-only memmaps, so a payload is a few small integer
+    arrays rather than pickled embedding rows.  Module-level (and fed
+    picklable arguments) so the process backend can ship it.  Returns
+    accepted ``(row, column, distance)`` triples in solver order.
     """
-    left_block, right_block, pair_rows, pair_cols = payload
-    cost = cosine_distance_matrix(left_block, right_block)
+    left_rows, right_rows, pair_rows, pair_cols = payload
+    # Fancy indexing materialises the rows as ordinary float64 arrays whether
+    # the matrix is in-memory or a memmap — identical values either way.
+    cost = cosine_distance_matrix(left_matrix[left_rows], right_matrix[right_rows])
     if pair_rows is not None:
         # Values connected only transitively are not candidates of each
         # other; keep them unmatchable.
@@ -491,8 +503,12 @@ class BlockedValueMatcher:
 
         payloads = []
         for component_left, component_right, component_pairs in general:
-            left_block = left_vectors[[left_row[index] for index in component_left], :]
-            right_block = right_vectors[[right_row[index] for index in component_right], :]
+            left_block_rows = np.asarray(
+                [left_row[index] for index in component_left], dtype=np.int64
+            )
+            right_block_rows = np.asarray(
+                [right_row[index] for index in component_right], dtype=np.int64
+            )
             if len(component_pairs) < len(component_left) * len(component_right):
                 pair_array = np.asarray(component_pairs, dtype=np.int64)
                 # Component index lists are sorted, so the component-local
@@ -505,12 +521,16 @@ class BlockedValueMatcher:
                 )
             else:
                 pair_rows = pair_cols = None
-            payloads.append((left_block, right_block, pair_rows, pair_cols))
+            payloads.append((left_block_rows, right_block_rows, pair_rows, pair_cols))
+        # The embedding matrices travel via shared= (bound directly in
+        # process-free backends, published once as memmaps for the process
+        # pool); each payload is just the component's index arrays.
         solved = run_partitioned(
             payloads,
             partial(_score_and_solve_component, solver=self.solver, threshold=self.threshold),
             self.executor,
-            weight=lambda payload: payload[0].shape[0] * payload[1].shape[0],
+            weight=lambda payload: len(payload[0]) * len(payload[1]),
+            shared={"left_matrix": left_vectors, "right_matrix": right_vectors},
         )
         for (component_left, component_right, _), accepted in zip(general, solved):
             for row, column, pair_distance in accepted:

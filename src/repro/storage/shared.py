@@ -1,0 +1,157 @@
+"""Zero-copy hand-off of large read-only arrays to process-pool workers.
+
+The process backend of :func:`repro.utils.executor.run_partitioned` pickles
+``fn`` and every batch across the pipe.  When the captured constants include
+an embedding matrix, that pickling dominates the run — every batch re-ships
+megabytes of float64 rows that every worker already could have shared.
+
+This module provides the store hand-off instead:
+
+* :func:`publish_array` writes an array to a ``.npy`` file once and returns
+  a tiny :class:`ArrayHandle` (path + shape + dtype).
+* :func:`attach_array` opens the file as a read-only ``numpy`` memmap,
+  memoised **per process** — a worker attaches on first use and reuses the
+  mapping for every subsequent batch; the OS page cache shares the physical
+  pages between all workers on the machine.
+* :class:`SharedArrays` owns a temporary directory of published arrays for
+  the duration of one parallel region (context manager).
+* :class:`SharedArrayBinding` wraps a worker function so that its pickled
+  form carries handles instead of arrays: the parent binds real arrays, the
+  pickle machinery swaps them for handles (via ``__reduce__``), and the
+  worker rebuilds the binding by attaching the memmaps.
+
+Determinism: attaching never changes values — a memmap slice materialises
+exactly the float64 rows that were published — so a worker computing over an
+attached matrix returns byte-identical results to the in-process path.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ArrayHandle:
+    """A picklable reference to a published read-only array."""
+
+    path: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+#: Per-process memo of attached arrays, keyed by path.  Bounded: temporary
+#: publications use unique paths, so the memo would otherwise grow for the
+#: lifetime of a long-lived worker.
+_ATTACHED: Dict[str, np.ndarray] = {}
+_ATTACHED_LOCK = threading.Lock()
+_ATTACHED_CAP = 64
+
+
+def publish_array(array: np.ndarray, directory: Union[str, Path], name: str) -> ArrayHandle:
+    """Write ``array`` to ``<directory>/<name>.npy`` and return its handle."""
+    path = Path(directory) / f"{name}.npy"
+    array = np.ascontiguousarray(array)
+    np.save(path, array)
+    return ArrayHandle(path=str(path), shape=tuple(array.shape), dtype=str(array.dtype))
+
+
+def attach_array(handle: ArrayHandle) -> np.ndarray:
+    """The published array as a read-only memmap (memoised per process)."""
+    with _ATTACHED_LOCK:
+        array = _ATTACHED.get(handle.path)
+        if array is not None:
+            return array
+    loaded = np.load(handle.path, mmap_mode="r")
+    if tuple(loaded.shape) != tuple(handle.shape) or str(loaded.dtype) != handle.dtype:
+        raise ValueError(
+            f"published array at {handle.path} has shape {loaded.shape} "
+            f"({loaded.dtype}), handle expects {handle.shape} ({handle.dtype})"
+        )
+    with _ATTACHED_LOCK:
+        if len(_ATTACHED) >= _ATTACHED_CAP:
+            # Drop the oldest mapping; a stale entry re-attaches on demand.
+            _ATTACHED.pop(next(iter(_ATTACHED)))
+        _ATTACHED[handle.path] = loaded
+    return loaded
+
+
+class SharedArrays:
+    """Arrays published to a private temp directory for one parallel region.
+
+    ``close()`` (or the context manager exit) removes the directory.  POSIX
+    semantics keep live worker mappings valid after the unlink; a worker
+    attaching *late* would fail, which cannot happen because
+    :func:`repro.utils.executor.run_partitioned` joins the pool before the
+    region closes.
+    """
+
+    def __init__(
+        self,
+        arrays: Mapping[str, np.ndarray],
+        directory: Optional[Union[str, Path]] = None,
+    ) -> None:
+        self._dir: Optional[str] = tempfile.mkdtemp(prefix="repro-shared-", dir=directory)
+        self.handles: Dict[str, ArrayHandle] = {
+            name: publish_array(array, self._dir, name) for name, array in arrays.items()
+        }
+
+    def close(self) -> None:
+        if self._dir is not None:
+            shutil.rmtree(self._dir, ignore_errors=True)
+            self._dir = None
+
+    def __enter__(self) -> "SharedArrays":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def _rebuild_binding(
+    fn: Callable[..., object], handles: Dict[str, ArrayHandle], kwargs: Dict[str, object]
+) -> "SharedArrayBinding":
+    """Unpickle hook: rebuild the binding by attaching every handle."""
+    binding = SharedArrayBinding.__new__(SharedArrayBinding)
+    binding.fn = fn
+    binding.arrays = {name: attach_array(handle) for name, handle in handles.items()}
+    binding.kwargs = kwargs
+    binding._handles = handles
+    return binding
+
+
+class SharedArrayBinding:
+    """``fn`` with large read-only arrays bound as keyword arguments.
+
+    Calling the binding runs ``fn(item, **arrays, **kwargs)``.  In the
+    parent the arrays are the caller's in-memory matrices (serial and thread
+    backends never touch the disk).  When pickled for a process pool, the
+    binding serialises as ``(fn, handles, kwargs)`` — a few hundred bytes —
+    and the worker-side rebuild attaches the memmaps instead.
+    """
+
+    __slots__ = ("fn", "arrays", "kwargs", "_handles")
+
+    def __init__(
+        self,
+        fn: Callable[..., object],
+        arrays: Mapping[str, np.ndarray],
+        handles: Mapping[str, ArrayHandle],
+        **kwargs: object,
+    ) -> None:
+        self.fn = fn
+        self.arrays = dict(arrays)
+        self.kwargs = dict(kwargs)
+        self._handles = dict(handles)
+
+    def __call__(self, item: object) -> object:
+        return self.fn(item, **self.arrays, **self.kwargs)
+
+    def __reduce__(self):
+        return (_rebuild_binding, (self.fn, self._handles, self.kwargs))

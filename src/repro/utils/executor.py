@@ -18,6 +18,15 @@ one abstraction they all share:
   executor overhead, and results are always returned in input order — callers
   get a byte-identical merge regardless of backend or worker count.
 
+Large read-only constants (an embedding matrix every item slices, say) must
+**not** be captured inside ``fn``: the process backend pickles ``fn`` once
+per dispatched batch, so captured megabytes would cross the pipe once per
+batch.  Pass them via ``shared=`` instead — ``run_partitioned`` then calls
+``fn(item, **shared)``, binding the arrays directly on the serial and thread
+paths and handing the process pool memmap *handles* (publish once to disk,
+attach once per worker, see :mod:`repro.storage.shared`) so only the small
+batch items and a few-hundred-byte handle ever cross the pipe.
+
 Backends
 --------
 ``"serial"``
@@ -61,7 +70,7 @@ from __future__ import annotations
 import atexit
 import threading
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, TypeVar
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, TypeVar
 
 ItemT = TypeVar("ItemT")
 ResultT = TypeVar("ResultT")
@@ -209,10 +218,11 @@ def _shutdown_process_pools() -> None:  # pragma: no cover - interpreter exit
 
 def run_partitioned(
     items: Sequence[ItemT],
-    fn: Callable[[ItemT], ResultT],
+    fn: Callable[..., ResultT],
     config: ExecutorConfig = SERIAL_EXECUTOR,
     *,
     weight: Optional[Callable[[ItemT], float]] = None,
+    shared: Optional[Mapping[str, "object"]] = None,
 ) -> List[ResultT]:
     """Return ``[fn(item) for item in items]``, possibly executed in parallel.
 
@@ -225,28 +235,68 @@ def run_partitioned(
     picklable; pass a module-level function or a ``functools.partial`` over
     one.  ``weight`` estimates the relative cost of one item (e.g. cost-matrix
     cells) and steers the batch balancing; it never affects the results.
+
+    ``shared`` maps keyword names to large read-only ``numpy`` arrays that
+    every item needs; ``fn`` is then called as ``fn(item, **shared)``.  On
+    the serial and thread paths the arrays are bound directly (zero copies).
+    On the process path they are published once to memmap files and workers
+    attach on first use (:mod:`repro.storage.shared`), so batches carry only
+    items and handles — never the arrays.  Binding through ``shared`` never
+    changes results, only what crosses the process pipe.
     """
     items = list(items)
     if not items:
         return []
     if not config.should_parallelise(len(items)):
-        return [fn(item) for item in items]
+        return _run_serial(items, fn, shared)
 
     batches = partition_batches(items, config, weight)
     if len(batches) <= 1:
-        return [fn(item) for item in items]
+        return _run_serial(items, fn, shared)
     workers = min(config.max_workers, len(batches))
 
     if config.backend == "thread":
         from concurrent.futures import ThreadPoolExecutor
 
+        task = fn if shared is None else _bind_shared_in_memory(fn, shared)
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            batch_results = list(pool.map(_apply_batch, [fn] * len(batches), batches))
+            batch_results = list(pool.map(_apply_batch, [task] * len(batches), batches))
     else:  # "process" — shared long-lived pool (submitting is thread-safe)
         pool = _process_pool(config.max_workers)
-        batch_results = list(pool.map(_apply_batch, [fn] * len(batches), batches))
+        if shared is None:
+            batch_results = list(pool.map(_apply_batch, [fn] * len(batches), batches))
+        else:
+            from repro.storage.shared import SharedArrayBinding, SharedArrays
+
+            with SharedArrays(shared) as region:
+                task = SharedArrayBinding(fn, shared, region.handles)
+                batch_results = list(
+                    pool.map(_apply_batch, [task] * len(batches), batches)
+                )
 
     flattened: List[ResultT] = []
     for batch_result in batch_results:
         flattened.extend(batch_result)
     return flattened
+
+
+def _run_serial(
+    items: Sequence[ItemT],
+    fn: Callable[..., ResultT],
+    shared: Optional[Mapping[str, "object"]],
+) -> List[ResultT]:
+    """The plain loop, with ``shared`` bound as keyword arguments if given."""
+    if shared is None:
+        return [fn(item) for item in items]
+    return [fn(item, **shared) for item in items]
+
+
+def _bind_shared_in_memory(
+    fn: Callable[..., ResultT], shared: Mapping[str, "object"]
+) -> Callable[[ItemT], ResultT]:
+    """Bind ``shared`` directly for in-process execution (no serialisation)."""
+
+    def bound(item: ItemT) -> ResultT:
+        return fn(item, **shared)
+
+    return bound

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 import json
 
 import pytest
@@ -196,6 +197,23 @@ class TestSerialisation:
         config = FuzzyFDConfig(threshold=0.75, blocking="on")
         assert FuzzyFDConfig.from_json(config.to_json()) == config
 
+    def test_store_knobs_round_trip(self, tmp_path):
+        config = FuzzyFDConfig(store_dir=tmp_path / "store", store_mode="read")
+        data = config.to_dict()
+        assert data["store_dir"] == str(tmp_path / "store")  # held as a string
+        assert data["store_mode"] == "read"
+        assert FuzzyFDConfig.from_dict(data) == config
+        assert FuzzyFDConfig.from_json(config.to_json()) == config
+
+    @pytest.mark.parametrize("preset", ["paper", "fast", "scale"])
+    def test_every_preset_round_trips(self, preset):
+        config = FuzzyFDConfig.preset(preset)
+        data = config.to_dict()
+        # to_dict covers every field exactly — nothing dropped, nothing extra.
+        assert set(data) == {field.name for field in dataclasses.fields(FuzzyFDConfig)}
+        assert FuzzyFDConfig.from_dict(data) == config
+        assert FuzzyFDConfig.from_json(config.to_json()) == config
+
 
 class TestPresets:
     def test_available_presets(self):
@@ -224,6 +242,13 @@ class TestPresets:
         assert config.max_workers == 4
         assert config.parallel_backend == "thread"
         assert config.executor_config().is_parallel
+
+    def test_scale_preset_opts_into_persistence(self):
+        config = FuzzyFDConfig.preset("scale")
+        assert config.store_mode == "readwrite"
+        # ...but without a store_dir there is still no store to build.
+        assert config.store_dir is None
+        assert config.build_store() is None
 
     def test_unknown_preset_lists_names(self):
         with pytest.raises(ValueError) as excinfo:

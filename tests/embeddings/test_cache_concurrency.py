@@ -51,7 +51,7 @@ class TestCacheUnderConcurrency:
         out = np.empty((3, 3))
         missing = cache.fill_many("m", ["a", "b", "a"], out)
         assert missing == [1]
-        assert cache.stats() == {"hits": 2, "misses": 1, "size": 1}
+        assert cache.stats() == {"hits": 2, "misses": 1, "fills": 1, "size": 1}
         assert np.array_equal(out[0], np.ones(3))
         assert np.array_equal(out[2], np.ones(3))
 
@@ -62,7 +62,7 @@ class TestCacheUnderConcurrency:
         out = np.empty((2, 3))
         missing = cache.fill_many("m", ["a", "a"], out)
         assert missing == [0, 1]
-        assert cache.stats() == {"hits": 1, "misses": 1, "size": 0}
+        assert cache.stats() == {"hits": 1, "misses": 1, "fills": 0, "size": 0}
 
     def test_embed_many_embeds_duplicate_texts_once(self):
         calls = []

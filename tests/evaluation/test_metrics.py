@@ -10,6 +10,7 @@ from repro.datasets import ImdbBenchmark
 from repro.embeddings import MistralEmbedder
 from repro.evaluation import (
     MatchingScores,
+    format_cache_statistics,
     format_markdown_table,
     format_scores_table,
     macro_average,
@@ -121,3 +122,24 @@ class TestReporting:
         ]
         text = format_runtime_series(points)
         assert "100" in text and "2.00" in text and "2.20" in text
+
+    def test_cache_statistics_table(self):
+        text = format_cache_statistics(
+            {
+                "value_matching_seconds": 1.5,  # non-counter keys are ignored
+                "cache_hits": 120.0,
+                "cache_store_hits": 80.0,
+                "cache_misses": 0.0,
+                "ann_index_loads": 2.0,
+                "store_published_rows": 40.0,
+            }
+        )
+        assert "120" in text and "80" in text
+        assert "ANN indexes loaded" in text
+        # 200 of 200 lookups served without a raw embed — the warm-start row.
+        assert "100.0%" in text
+        assert "1.5" not in text
+
+    def test_cache_statistics_rejects_counterless_dicts(self):
+        with pytest.raises(ValueError, match="no cache or store counters"):
+            format_cache_statistics({"alignment_seconds": 0.1})

@@ -1,0 +1,62 @@
+"""Fingerprint scheme: injectivity, ordering semantics, stability."""
+
+from __future__ import annotations
+
+from repro.storage.fingerprint import (
+    ann_params_fingerprint,
+    corpus_fingerprint,
+    embedder_fingerprint,
+)
+
+
+class TestEmbedderFingerprint:
+    def test_contains_name_and_dimension(self):
+        assert embedder_fingerprint("mistral", 256) == "mistral.d256"
+
+    def test_unsafe_characters_sanitised(self):
+        fingerprint = embedder_fingerprint("my/model:v2", 16)
+        assert "/" not in fingerprint
+        assert ":" not in fingerprint
+        assert fingerprint.endswith(".d16")
+
+    def test_dimension_distinguishes(self):
+        assert embedder_fingerprint("m", 8) != embedder_fingerprint("m", 16)
+
+
+class TestCorpusFingerprint:
+    def test_deterministic(self):
+        assert corpus_fingerprint(["a", "b"]) == corpus_fingerprint(["a", "b"])
+
+    def test_set_semantics_by_default(self):
+        # Order and duplicates do not matter for a cache segment: the keys
+        # table maps text -> row whatever the insertion history was.
+        assert corpus_fingerprint(["b", "a", "a"]) == corpus_fingerprint(["a", "b"])
+
+    def test_ordered_mode_is_positional(self):
+        # ANN codes are positional (column i codes value i), so the ordered
+        # fingerprint must distinguish permutations.
+        assert corpus_fingerprint(["a", "b"], ordered=True) != corpus_fingerprint(
+            ["b", "a"], ordered=True
+        )
+
+    def test_length_prefix_prevents_concatenation_collisions(self):
+        assert corpus_fingerprint(["ab", "c"]) != corpus_fingerprint(["a", "bc"])
+
+    def test_distinct_corpora_distinct_fingerprints(self):
+        assert corpus_fingerprint(["a"]) != corpus_fingerprint(["b"])
+
+    def test_short_hex(self):
+        fingerprint = corpus_fingerprint(["x"])
+        assert len(fingerprint) == 16
+        int(fingerprint, 16)  # parses as hex
+
+
+class TestAnnParamsFingerprint:
+    def test_encodes_all_knobs(self):
+        assert ann_params_fingerprint(8, 12, 97) == "t8.b12.s97"
+
+    def test_distinct_params_distinct_keys(self):
+        base = ann_params_fingerprint(8, 12, 97)
+        assert ann_params_fingerprint(9, 12, 97) != base
+        assert ann_params_fingerprint(8, 13, 97) != base
+        assert ann_params_fingerprint(8, 12, 98) != base
