@@ -105,6 +105,7 @@ _INTEGRATE_CONFIG_FLAGS = (
     "blocking",
     "semantic_blocking",
     "ann_top_k",
+    "ann_index",
     "max_workers",
     "parallel_backend",
     "store_dir",
@@ -184,6 +185,7 @@ def cmd_match(args: argparse.Namespace) -> int:
             blocking=args.blocking,
             semantic_blocking=args.semantic_blocking,
             ann_top_k=args.ann_top_k,
+            ann_index=args.ann_index,
         )
     except ValueError as error:
         raise SystemExit(f"error: {error}") from None
@@ -305,6 +307,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="candidate pairs the semantic channel emits per probing value",
     )
     integrate_parser.add_argument(
+        "--ann-index",
+        dest="ann_index",
+        default="lsh",
+        choices=["lsh", "ivf"],
+        action=_TrackedStore,
+        help="semantic-channel retrieval index: lsh (hyperplane tables, with "
+        "automatic IVF fallback on skewed buckets) or ivf (force the seeded "
+        "k-means inverted-file index)",
+    )
+    integrate_parser.add_argument(
         "--workers",
         dest="max_workers",
         type=int,
@@ -369,6 +381,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=5,
         help="candidate pairs the semantic channel emits per probing value",
+    )
+    match_parser.add_argument(
+        "--ann-index",
+        dest="ann_index",
+        default="lsh",
+        choices=["lsh", "ivf"],
+        help="semantic-channel retrieval index (lsh or ivf)",
     )
     match_parser.add_argument("--all", action="store_true", help="also print singleton sets")
     match_parser.set_defaults(func=cmd_match)

@@ -22,7 +22,12 @@ from typing import Any, Dict, List, Optional, Union
 
 from repro.core.representatives import REPRESENTATIVE_POLICIES
 from repro.core.value_matching import DEFAULT_BLOCKING_CUTOFF, DEFAULT_BLOCKING_KEY_CAP
-from repro.matching.ann import DEFAULT_ANN_BITS, DEFAULT_ANN_TABLES, DEFAULT_ANN_TOP_K
+from repro.matching.ann import (
+    ANN_INDEX_KINDS,
+    DEFAULT_ANN_BITS,
+    DEFAULT_ANN_TABLES,
+    DEFAULT_ANN_TOP_K,
+)
 from repro.embeddings.base import ValueEmbedder
 from repro.embeddings.registry import EMBEDDERS
 from repro.fd import FD_ALGORITHMS
@@ -92,6 +97,13 @@ class FuzzyFDConfig:
         counterparts by cosine similarity; both sides probe).  Bounds the
         extra pairs the channel can add to roughly
         ``top_k × (|left| + |right|)``.
+    ann_index:
+        Retrieval index of the semantic channel above the brute-force
+        cutoff: ``"lsh"`` (random-hyperplane tables, the default — falls
+        back to IVF per column pair when hyperplane buckets skew past the
+        blocker's threshold) or ``"ivf"`` (force the seeded k-means
+        inverted-file index everywhere).  Both are deterministic under the
+        fixed seed and both persist through the artifact store.
     alignment:
         Alignment strategy used when the caller does not pass an explicit
         alignment: ``"by_name"`` groups equal headers (the Figure 1 setting),
@@ -137,6 +149,7 @@ class FuzzyFDConfig:
     ann_tables: int = DEFAULT_ANN_TABLES
     ann_bits: int = DEFAULT_ANN_BITS
     ann_top_k: int = DEFAULT_ANN_TOP_K
+    ann_index: str = "lsh"
     alignment: str = "by_name"
     max_workers: int = 1
     parallel_backend: str = "thread"
@@ -174,6 +187,10 @@ class FuzzyFDConfig:
             raise ValueError(f"ann_bits must be in [1, 30], got {self.ann_bits}")
         if self.ann_top_k < 1:
             raise ValueError(f"ann_top_k must be >= 1, got {self.ann_top_k}")
+        if self.ann_index not in ANN_INDEX_KINDS:
+            raise ValueError(
+                f"ann_index must be one of {list(ANN_INDEX_KINDS)}, got {self.ann_index!r}"
+            )
         if self.max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {self.max_workers}")
         if self.parallel_backend not in EXECUTOR_BACKENDS:

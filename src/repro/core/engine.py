@@ -68,6 +68,7 @@ REQUEST_OVERRIDES = (
     "ann_tables",
     "ann_bits",
     "ann_top_k",
+    "ann_index",
     "max_workers",
     "parallel_backend",
     "store_mode",
@@ -499,6 +500,7 @@ class IntegrationEngine:
             effective.ann_tables,
             effective.ann_bits,
             effective.ann_top_k,
+            effective.ann_index,
             effective.max_workers,
             effective.parallel_backend,
             effective.store_mode,
@@ -518,6 +520,7 @@ class IntegrationEngine:
                 ann_tables=effective.ann_tables,
                 ann_bits=effective.ann_bits,
                 ann_top_k=effective.ann_top_k,
+                ann_index=effective.ann_index,
                 max_workers=effective.max_workers,
                 parallel_backend=effective.parallel_backend,
                 store=self._store_for(effective.store_mode),

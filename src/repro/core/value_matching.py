@@ -164,6 +164,7 @@ class ValueMatcher:
         ann_tables: int = DEFAULT_ANN_TABLES,
         ann_bits: int = DEFAULT_ANN_BITS,
         ann_top_k: int = DEFAULT_ANN_TOP_K,
+        ann_index: str = "lsh",
         max_workers: int = 1,
         parallel_backend: str = "thread",
         store: Optional[ArtifactStore] = None,
@@ -213,6 +214,7 @@ class ValueMatcher:
                 n_tables=ann_tables,
                 n_bits=ann_bits,
                 min_similarity=max(0.0, 1.0 - threshold),
+                ann_index=ann_index,
                 store=store,
             )
             if semantic_blocking != "off"
@@ -223,7 +225,11 @@ class ValueMatcher:
                 embedder,
                 threshold=threshold,
                 solver=solver,
-                blocker=ValueBlocker(frequent_key_cap=blocking_key_cap),
+                # The blocker shares the executor so surface-key generation
+                # can fan out over the same (process) pool as the solver.
+                blocker=ValueBlocker(
+                    frequent_key_cap=blocking_key_cap, executor=self.executor
+                ),
                 executor=self.executor,
                 semantic_blocker=semantic_blocker,
                 semantic_mode=semantic_blocking if semantic_blocking != "off" else "on",
@@ -285,6 +291,8 @@ class ValueMatcher:
                 statistics.update(
                     blocking_ann_pairs_added=0.0,
                     blocking_ann_pairs_duplicate=0.0,
+                    blocking_ann_skew_fallbacks=0.0,
+                    blocking_ann_probe_candidates=0.0,
                 )
 
         groups = [
@@ -323,6 +331,12 @@ class ValueMatcher:
                     )
                     statistics["blocking_ann_pairs_duplicate"] += float(
                         blocking_stats.ann_pairs_duplicate
+                    )
+                    statistics["blocking_ann_skew_fallbacks"] += float(
+                        blocking_stats.ann_skew_fallbacks
+                    )
+                    statistics["blocking_ann_probe_candidates"] += float(
+                        blocking_stats.ann_probe_candidates
                     )
                 # Component-size distribution, aggregated over every blocked
                 # assignment; the reporting layer renders these buckets as a

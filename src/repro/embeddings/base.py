@@ -9,6 +9,18 @@ from typing import Dict, Iterable, List, Optional, Sequence
 import numpy as np
 
 
+def embedding_text(value: object) -> str:
+    """The exact text an embedder embeds (and caches) for ``value``.
+
+    ``None`` embeds as the empty string; everything else as ``str(value)``.
+    Callers that need the embedded texts themselves (corpus fingerprints of
+    the ANN index, say) must use this function rather than re-implementing
+    the conversion — the fingerprint has to name exactly the rows
+    :meth:`ValueEmbedder.embed_many` produced.
+    """
+    return "" if value is None else str(value)
+
+
 class ValueEmbedder(abc.ABC):
     """Maps cell values to fixed-dimension unit vectors.
 
@@ -44,7 +56,7 @@ class ValueEmbedder(abc.ABC):
 
     def embed(self, value: object) -> np.ndarray:
         """Return the unit-norm embedding of one cell value."""
-        text = "" if value is None else str(value)
+        text = embedding_text(value)
         cached = self._cache.get(self.name, text)
         if cached is not None:
             return cached
@@ -73,7 +85,7 @@ class ValueEmbedder(abc.ABC):
         """
         if not values:
             return np.zeros((0, self.dimension), dtype=np.float64)
-        texts = ["" if value is None else str(value) for value in values]
+        texts = [embedding_text(value) for value in values]
         matrix = np.empty((len(texts), self.dimension), dtype=np.float64)
         computed: Dict[str, np.ndarray] = {}
         for index in self._cache.fill_many(self.name, texts, matrix):

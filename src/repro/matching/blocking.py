@@ -81,7 +81,7 @@ from __future__ import annotations
 
 import threading
 from functools import partial
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dataclass_replace
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -92,7 +92,7 @@ from repro.matching.ann import SemanticBlocker
 from repro.matching.assignment import AssignmentSolver, ScipyAssignment
 from repro.matching.bipartite import ValueMatch, split_exact_matches
 from repro.matching.distance import EmbeddingDistance, cosine_distance_matrix
-from repro.utils.executor import ExecutorConfig, run_partitioned
+from repro.utils.executor import ExecutorConfig, contiguous_ranges, run_partitioned
 from repro.utils.text import character_ngrams, normalize_value, tokenize
 
 #: Cost written into cells the assignment must never select (non-candidate
@@ -104,6 +104,18 @@ PROHIBITIVE_COST = 10.0
 #: Default frequent-key cap: a blocking key whose smaller posting list
 #: exceeds this is skipped by candidate generation (``None`` disables).
 DEFAULT_FREQUENT_KEY_CAP: Optional[int] = 1000
+
+#: Distinct normalised texts a :class:`ValueBlocker` memoises key tuples for.
+#: Overflow clears the whole memo (no LRU bookkeeping on the hot path): the
+#: memo exists for duplicate-heavy columns, whose distinct-text count is far
+#: below this; a workload that actually overflows it was getting no reuse
+#: worth preserving.
+KEY_MEMO_LIMIT = 200_000
+
+#: Distinct *uncached* texts below which surface-key generation always runs
+#: in-process: n-gram sampling per value is microseconds, so a fan-out has to
+#: amortise pool dispatch over thousands of values to win.
+PARALLEL_KEYS_MIN_VALUES = 2048
 
 #: Lazily built lexicon shared by every ValueBlocker that does not bring its
 #: own.  ``default_lexicon()`` rebuilds the whole knowledge base per call;
@@ -122,6 +134,96 @@ def _shared_default_lexicon() -> SemanticLexicon:
             if _SHARED_DEFAULT_LEXICON is None:
                 _SHARED_DEFAULT_LEXICON = default_lexicon()
     return _SHARED_DEFAULT_LEXICON
+
+
+def _sample_ngrams(grams: List[str], max_ngrams: int) -> List[str]:
+    """At most ``max_ngrams`` grams spread evenly across the whole value.
+
+    Taking the *first* ``max_ngrams`` grams would make long values block
+    solely on their prefix; even sampling always includes the first and last
+    gram, so pairs sharing any region (suffixes included) remain candidates.
+    Module-level (not a method) so process workers compute the exact same
+    sample from pickled parameters alone.
+    """
+    if max_ngrams <= 0 or len(grams) <= max_ngrams:
+        return grams
+    if max_ngrams == 1:
+        return [grams[0]]
+    # Same float round() selection as always (changing it would silently
+    # change blocking keys); positions are non-decreasing, so deduping
+    # against the previous position suffices.
+    step = (len(grams) - 1) / (max_ngrams - 1)
+    sampled: List[str] = []
+    previous = -1
+    for index in range(max_ngrams):
+        position = round(index * step)
+        if position != previous:
+            sampled.append(grams[position])
+            previous = position
+    return sampled
+
+
+def _surface_keys_for_text(
+    normalised: str,
+    *,
+    ngram_size: int,
+    max_ngrams: int,
+    prefix_length: int,
+    lexicon: Optional[SemanticLexicon],
+) -> Tuple[str, ...]:
+    """Blocking keys of one already-normalised text, as a sorted tuple.
+
+    A pure function of its arguments — the single source of truth for what
+    :meth:`ValueBlocker.keys` computes, shared verbatim by the in-process
+    memo and the process-pool fan-out so a key set never depends on *where*
+    it was computed.  The tuple is sorted (not a set) so its ordering is
+    identical across worker interpreters regardless of hash randomisation.
+    """
+    keys: Set[str] = set()
+    for token in tokenize(normalised, normalized=True):
+        keys.add(f"p:{token[:prefix_length]}")
+    grams = character_ngrams(normalised, n=ngram_size, normalized=True)
+    for gram in _sample_ngrams(grams, max_ngrams):
+        keys.add(f"g:{gram}")
+    if lexicon is not None:
+        concept = lexicon.lookup(normalised)
+        if concept is not None:
+            keys.add(f"c:{concept}")
+    if not keys and normalised:
+        keys.add(f"p:{normalised[:prefix_length]}")
+    return tuple(sorted(keys))
+
+
+def _keys_for_text_batch(
+    bounds: Tuple[int, int],
+    *,
+    texts: np.ndarray,
+    ngram_size: int,
+    max_ngrams: int,
+    prefix_length: int,
+    lexicon_spec: object,
+) -> List[Tuple[str, ...]]:
+    """Executor work unit: key tuples for one contiguous span of texts.
+
+    ``texts`` is the deduplicated normalised-text array travelling through
+    the executor's ``shared=`` hand-off (a memmap in process workers), so the
+    pickled item is just the ``(start, stop)`` bounds.  ``lexicon_spec`` is
+    ``None`` (no lexicon), the string ``"default"`` (rebuild the process-wide
+    shared default lexicon in the worker instead of pickling it per batch),
+    or a pickled custom :class:`~repro.embeddings.lexicon.SemanticLexicon`.
+    """
+    lexicon = _shared_default_lexicon() if lexicon_spec == "default" else lexicon_spec
+    start, stop = bounds
+    return [
+        _surface_keys_for_text(
+            str(text),
+            ngram_size=ngram_size,
+            max_ngrams=max_ngrams,
+            prefix_length=prefix_length,
+            lexicon=lexicon,
+        )
+        for text in texts[start:stop]
+    ]
 
 
 @dataclass(frozen=True)
@@ -158,6 +260,20 @@ class BlockingStatistics:
     #: duplicate share means the surfaces carry the semantics and the ANN
     #: channel is paying for little.
     ann_pairs_duplicate: int = 0
+    #: Retrieval strategy the semantic channel used: ``"brute"``, ``"lsh"``
+    #: or ``"ivf"`` (``""`` when the channel is off or did not engage).
+    ann_index_kind: str = ""
+    #: Largest LSH bucket share observed while routing the semantic channel
+    #: (0.0 off the LSH route or below the skew measurement size).
+    ann_bucket_skew: float = 0.0
+    #: LSH→IVF fallbacks the semantic channel took for this column pair
+    #: because hyperplane buckets skewed past the threshold — non-zero means
+    #: ``ann_index_kind == "ivf"`` was chosen *for* the data, not by config.
+    ann_skew_fallbacks: int = 0
+    #: Deduplicated ``(query, candidate)`` similarity evaluations of the
+    #: semantic channel's probe phase — the probe-cost counter (compare
+    #: against ``full_matrix_pairs`` to see what the index saved).
+    ann_probe_candidates: int = 0
 
     @property
     def full_matrix_pairs(self) -> int:
@@ -222,6 +338,15 @@ class ValueBlocker:
     One-sided blocks (many left values, few right ones) stay linear and are
     always kept.  Pairs also sharing a rarer key survive through that key;
     ``None`` disables the cap.
+
+    Key computation is memoised per normalised text (duplicate-heavy columns
+    recompute nothing) and — given a process-backend ``executor`` — fans the
+    distinct uncached texts of a large column out over the worker pool
+    (:data:`PARALLEL_KEYS_MIN_VALUES` gates the fan-out).  Both are pure
+    performance knobs: every key set comes from the same
+    :func:`_surface_keys_for_text`, merged positionally, so candidate pairs
+    are identical however the keys were computed.  The memo assumes the key
+    parameters (``ngram_size`` etc.) are fixed after construction.
     """
 
     def __init__(
@@ -232,6 +357,7 @@ class ValueBlocker:
         use_lexicon: bool = True,
         lexicon: Optional[SemanticLexicon] = None,
         frequent_key_cap: Optional[int] = DEFAULT_FREQUENT_KEY_CAP,
+        executor: Optional[ExecutorConfig] = None,
     ) -> None:
         if frequent_key_cap is not None and frequent_key_cap < 1:
             raise ValueError(f"frequent_key_cap must be >= 1 or None, got {frequent_key_cap}")
@@ -239,55 +365,103 @@ class ValueBlocker:
         self.max_ngrams = max_ngrams
         self.prefix_length = prefix_length
         self.use_lexicon = use_lexicon
+        # Remembered *before* the default is materialised: a worker process
+        # can rebuild the shared default lexicon locally, but a custom one
+        # has to be pickled to it.
+        self._lexicon_is_default = lexicon is None and use_lexicon
         self.lexicon = lexicon if lexicon is not None else (
             _shared_default_lexicon() if use_lexicon else None
         )
         self.frequent_key_cap = frequent_key_cap
+        self.executor = executor if executor is not None else ExecutorConfig()
         #: Keys skipped by the frequent-key cap in the last candidate pass.
         self.last_skipped_keys = 0
+        self._key_memo: Dict[str, Tuple[str, ...]] = {}
 
     def keys(self, value: object) -> Set[str]:
         """The blocking keys of one value."""
-        normalised = normalize_value(value)
-        keys: Set[str] = set()
-        for token in tokenize(normalised, normalized=True):
-            keys.add(f"p:{token[: self.prefix_length]}")
-        grams = character_ngrams(normalised, n=self.ngram_size, normalized=True)
-        for gram in self._sample_evenly(grams):
-            keys.add(f"g:{gram}")
-        if self.use_lexicon and self.lexicon is not None:
-            concept = self.lexicon.lookup(normalised)
-            if concept is not None:
-                keys.add(f"c:{concept}")
-        if not keys and normalised:
-            keys.add(f"p:{normalised[: self.prefix_length]}")
+        return set(self._keys_for_normalised(normalize_value(value)))
+
+    def _keys_for_normalised(self, normalised: str) -> Tuple[str, ...]:
+        """Memoised key tuple of one normalised text."""
+        memo = self._key_memo
+        keys = memo.get(normalised)
+        if keys is None:
+            if len(memo) >= KEY_MEMO_LIMIT:
+                memo.clear()
+            keys = _surface_keys_for_text(
+                normalised,
+                ngram_size=self.ngram_size,
+                max_ngrams=self.max_ngrams,
+                prefix_length=self.prefix_length,
+                lexicon=self.lexicon if self.use_lexicon else None,
+            )
+            memo[normalised] = keys
         return keys
 
-    def _sample_evenly(self, grams: List[str]) -> List[str]:
-        """At most ``max_ngrams`` grams spread across the whole value.
+    def _value_keys(self, values: Sequence[object]) -> List[Tuple[str, ...]]:
+        """Key tuples for every value, positionally.
 
-        Taking the *first* ``max_ngrams`` grams would make long values block
-        solely on their prefix; even sampling always includes the first and
-        last gram, so pairs sharing any region (suffixes included) remain
-        candidates.
+        Normalises once, pre-fills the memo for the distinct uncached texts
+        (in parallel when the workload and executor warrant it), then reads
+        every position's keys back from the memo — so the result is
+        independent of whether (and where) the fan-out ran.
         """
-        if self.max_ngrams <= 0 or len(grams) <= self.max_ngrams:
-            return grams
-        if self.max_ngrams == 1:
-            return [grams[0]]
-        # Same float round() selection as always (changing it would silently
-        # change blocking keys); the hot-path win is dropping the set + sort
-        # — positions are non-decreasing, so deduping against the previous
-        # position suffices.
-        step = (len(grams) - 1) / (self.max_ngrams - 1)
-        sampled: List[str] = []
-        previous = -1
-        for index in range(self.max_ngrams):
-            position = round(index * step)
-            if position != previous:
-                sampled.append(grams[position])
-                previous = position
-        return sampled
+        normalised = [normalize_value(value) for value in values]
+        self._fill_key_memo(normalised)
+        return [self._keys_for_normalised(text) for text in normalised]
+
+    def _fill_key_memo(self, normalised_texts: Sequence[str]) -> None:
+        """Compute the distinct uncached texts' keys, fanning out if worth it.
+
+        Only the ``"process"`` backend fans out: key generation is pure
+        Python (tokenise + n-gram sampling + dict lookups), so threads would
+        serialise on the GIL.  The distinct texts ship once through the
+        executor's ``shared=`` hand-off as a fixed-width unicode array; each
+        dispatched item is a ``(start, stop)`` span into it, and the merge
+        back into the memo is positional.
+        """
+        memo = self._key_memo
+        seen: Set[str] = set()
+        missing: List[str] = []
+        for text in normalised_texts:
+            if text not in memo and text not in seen:
+                seen.add(text)
+                missing.append(text)
+        executor = self.executor
+        if (
+            len(missing) < PARALLEL_KEYS_MIN_VALUES
+            or not executor.is_parallel
+            or executor.backend != "process"
+        ):
+            return
+        spans = contiguous_ranges(len(missing), executor)
+        if len(spans) <= 1:
+            return
+        lexicon_spec: object = None
+        if self.use_lexicon and self.lexicon is not None:
+            lexicon_spec = "default" if self._lexicon_is_default else self.lexicon
+        # Each span already is a balanced batch, so dispatch them one per
+        # task (batch_size=1) however few there are (min_parallel_items=2).
+        dispatch = dataclass_replace(executor, batch_size=1, min_parallel_items=2)
+        results = run_partitioned(
+            spans,
+            partial(
+                _keys_for_text_batch,
+                ngram_size=self.ngram_size,
+                max_ngrams=self.max_ngrams,
+                prefix_length=self.prefix_length,
+                lexicon_spec=lexicon_spec,
+            ),
+            dispatch,
+            weight=lambda span: span[1] - span[0],
+            shared={"texts": np.array(missing, dtype=np.str_)},
+        )
+        if len(memo) + len(missing) > KEY_MEMO_LIMIT:
+            memo.clear()
+        for (start, stop), span_keys in zip(spans, results):
+            for text, keys in zip(missing[start:stop], span_keys):
+                memo[text] = keys
 
     def iter_candidate_pairs(
         self, left_values: Sequence[object], right_values: Sequence[object]
@@ -304,12 +478,12 @@ class ValueBlocker:
         accurate as soon as this returns (not once the generator drains).
         """
         left_index: Dict[str, List[int]] = {}
-        for left_position, value in enumerate(left_values):
-            for key in self.keys(value):
+        for left_position, value_keys in enumerate(self._value_keys(left_values)):
+            for key in value_keys:
                 left_index.setdefault(key, []).append(left_position)
         right_index: Dict[str, List[int]] = {}
-        for right_position, value in enumerate(right_values):
-            for key in self.keys(value):
+        for right_position, value_keys in enumerate(self._value_keys(right_values)):
+            for key in value_keys:
                 right_index.setdefault(key, []).append(right_position)
 
         cap = self.frequent_key_cap
@@ -442,6 +616,10 @@ class BlockedValueMatcher:
         self.last_statistics: Optional[BlockingStatistics] = None
         self._last_ann_added = 0
         self._last_ann_duplicate = 0
+        self._last_ann_kind = ""
+        self._last_ann_skew = 0.0
+        self._last_ann_fallbacks = 0
+        self._last_ann_probe = 0
 
     def match(
         self, left_values: Sequence[object], right_values: Sequence[object]
@@ -553,6 +731,10 @@ class BlockedValueMatcher:
             skipped_keys=self.blocker.last_skipped_keys,
             ann_pairs_added=self._last_ann_added,
             ann_pairs_duplicate=self._last_ann_duplicate,
+            ann_index_kind=self._last_ann_kind,
+            ann_bucket_skew=self._last_ann_skew,
+            ann_skew_fallbacks=self._last_ann_fallbacks,
+            ann_probe_candidates=self._last_ann_probe,
         )
         matches.sort(key=lambda match: (match.distance, str(match.left), str(match.right)))
         return matches
@@ -650,6 +832,10 @@ class BlockedValueMatcher:
             skipped_keys=self.blocker.last_skipped_keys,
             ann_pairs_added=self._last_ann_added,
             ann_pairs_duplicate=self._last_ann_duplicate,
+            ann_index_kind=self._last_ann_kind,
+            ann_bucket_skew=self._last_ann_skew,
+            ann_skew_fallbacks=self._last_ann_fallbacks,
+            ann_probe_candidates=self._last_ann_probe,
         )
         matches: List[ValueMatch] = []
         for row, column in self.solver.solve(cost):
@@ -683,6 +869,10 @@ class BlockedValueMatcher:
         """Surface ∪ semantic candidate pairs, or ``None`` when nothing matches."""
         self._last_ann_added = 0
         self._last_ann_duplicate = 0
+        self._last_ann_kind = ""
+        self._last_ann_skew = 0.0
+        self._last_ann_fallbacks = 0
+        self._last_ann_probe = 0
         if not left_values or not right_values:
             self.last_statistics = BlockingStatistics(len(left_values), len(right_values), 0)
             return None
@@ -690,7 +880,14 @@ class BlockedValueMatcher:
         if self.semantic_blocker is not None and self._semantic_engages(
             candidates, len(left_values), len(right_values)
         ):
+            fallbacks_before = self.semantic_blocker.skew_fallbacks
             semantic_pairs = self.semantic_blocker.candidate_pairs(left_values, right_values)
+            self._last_ann_kind = self.semantic_blocker.last_index_kind
+            self._last_ann_skew = self.semantic_blocker.last_bucket_skew
+            self._last_ann_fallbacks = (
+                self.semantic_blocker.skew_fallbacks - fallbacks_before
+            )
+            self._last_ann_probe = self.semantic_blocker.last_probe_candidates
             if semantic_pairs:
                 surface_set = set(candidates)
                 added = [pair for pair in semantic_pairs if pair not in surface_set]

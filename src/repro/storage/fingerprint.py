@@ -71,3 +71,14 @@ def corpus_fingerprint(texts: Sequence[str], *, ordered: bool = False) -> str:
 def ann_params_fingerprint(n_tables: int, n_bits: int, seed: int) -> str:
     """Fingerprint of the LSH shape knobs that determine planes and codes."""
     return f"t{int(n_tables)}.b{int(n_bits)}.s{int(seed)}"
+
+
+def ivf_params_fingerprint(iterations: int, seed: int) -> str:
+    """Fingerprint of the IVF build knobs that determine centroids/assignments.
+
+    Only the k-means iteration count and the seed enter the key: the cluster
+    count is derived from the corpus size (already in the corpus fingerprint)
+    and the probe width is a retrieval-time knob — like ``top_k`` for the LSH
+    index, one stored IVF index serves every retrieval configuration.
+    """
+    return f"i{int(iterations)}.s{int(seed)}"

@@ -19,6 +19,10 @@ Layout (``docs/storage.md`` documents it in full)::
         meta.json
         planes.npy                           # (n_tables, n_bits, dimension)
         codes.npy                            # (n_tables, n_values) int64
+      ivf/<embedder_fp>/<params_fp>/<corpus_fp>/
+        meta.json
+        centroids.npy                        # (n_clusters, dimension)
+        assignments.npy                      # (n_values,) int64 cluster ids
 
 Three properties the callers rely on:
 
@@ -294,6 +298,82 @@ class ArtifactStore:
             (tmp / "meta.json").write_text(json.dumps(meta, indent=2), encoding="utf-8")
 
         published = self._publish(self._ann_dir(embedder_fp, params_fp) / corpus_fp, write)
+        if published:
+            self._counters.bump("index_saves")
+        return published
+
+    # -- IVF indexes -----------------------------------------------------------------
+    def _ivf_dir(self, embedder_fp: str, params_fp: str) -> Path:
+        return self.root / "ivf" / embedder_fp / params_fp
+
+    def load_ivf_index(
+        self, embedder_fp: str, params_fp: str, corpus_fp: str
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Attach one IVF index: ``(centroids, assignments)``, both memmapped.
+
+        ``centroids`` is the ``(n_clusters, dimension)`` unit-vector centroid
+        matrix and ``assignments`` the ``(n_values,)`` integer cluster of each
+        value of the fingerprinted corpus.  Returns ``None`` on absence,
+        fingerprint mismatch or corruption — the caller rebuilds.
+        """
+        directory = self._ivf_dir(embedder_fp, params_fp) / corpus_fp
+        meta = self._read_meta(directory)
+        if meta is None:
+            return None
+        if not self._meta_matches(
+            meta, kind="ivf", embedder=embedder_fp, params=params_fp, corpus=corpus_fp
+        ):
+            return None
+        try:
+            centroids = np.load(directory / "centroids.npy", mmap_mode="r")
+            assignments = np.load(directory / "assignments.npy", mmap_mode="r")
+        except Exception:
+            self._counters.bump("corrupt_entries")
+            return None
+        if (
+            centroids.ndim != 2
+            or assignments.ndim != 1
+            or centroids.shape[0] != meta.get("clusters")
+            or assignments.shape[0] != meta.get("values")
+            or (len(assignments) and int(assignments.max()) >= centroids.shape[0])
+        ):
+            self._counters.bump("corrupt_entries")
+            return None
+        self._counters.bump("index_loads")
+        return centroids, assignments
+
+    def save_ivf_index(
+        self,
+        embedder_fp: str,
+        params_fp: str,
+        corpus_fp: str,
+        centroids: np.ndarray,
+        assignments: np.ndarray,
+    ) -> bool:
+        """Publish one IVF index atomically; ``False`` if it already exists."""
+        centroids = np.ascontiguousarray(centroids)
+        assignments = np.ascontiguousarray(assignments)
+        if centroids.ndim != 2 or assignments.ndim != 1:
+            raise ValueError(
+                f"inconsistent index shapes: centroids {centroids.shape}, "
+                f"assignments {assignments.shape}"
+            )
+        meta = {
+            "format_version": FORMAT_VERSION,
+            "kind": "ivf",
+            "embedder": embedder_fp,
+            "params": params_fp,
+            "corpus": corpus_fp,
+            "clusters": int(centroids.shape[0]),
+            "values": int(assignments.shape[0]),
+        }
+
+        def write(tmp: Path) -> None:
+            np.save(tmp / "centroids.npy", centroids)
+            np.save(tmp / "assignments.npy", assignments)
+            (tmp / "meta.json").write_text(json.dumps(meta, indent=2), encoding="utf-8")
+
+        published = self._publish(self._ivf_dir(embedder_fp, params_fp) / corpus_fp, write)
         if published:
             self._counters.bump("index_saves")
         return published

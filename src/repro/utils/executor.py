@@ -170,6 +170,31 @@ def partition_batches(
     return batches
 
 
+def contiguous_ranges(
+    count: int, config: ExecutorConfig, *, min_chunk: int = 256
+) -> List[tuple]:
+    """Split ``range(count)`` into contiguous ``(start, stop)`` spans.
+
+    The span-per-item shape :func:`run_partitioned` wants for *indexable*
+    workloads: when every item is "positions ``start:stop`` of one shared
+    array", dispatching spans instead of elements keeps the pickled batch a
+    few tuples regardless of workload size, and each worker slices its rows
+    out of the ``shared=`` array locally.  Spans follow the same ~four-slots-
+    per-worker sizing as :func:`partition_batches` so one slow span cannot
+    serialise the pool, but never drop below ``min_chunk`` positions — a span
+    must outweigh its dispatch overhead.  Flattening the spans in order
+    restores ``range(count)`` exactly, preserving the positional-merge
+    guarantee.
+    """
+    if min_chunk < 1:
+        raise ValueError(f"min_chunk must be >= 1, got {min_chunk}")
+    if count <= 0:
+        return []
+    slots = max(1, 4 * config.max_workers)
+    size = max(min_chunk, -(-count // slots))
+    return [(start, min(count, start + size)) for start in range(0, count, size)]
+
+
 def _apply_batch(fn: Callable[[ItemT], ResultT], batch: Sequence[ItemT]) -> List[ResultT]:
     """Apply ``fn`` to one batch (module-level so process pools can pickle it)."""
     return [fn(item) for item in batch]

@@ -91,11 +91,14 @@ class TestAblationHarnesses:
 class TestParallelAblationHarness:
     def test_small_run_produces_identical_matches_everywhere(self, tmp_path):
         module = _load("bench_ablation_parallel")
-        payload = module.run_all(n_values=150, group_size=4, n_requests=2)
+        payload = module.run_all(
+            n_values=150, group_size=4, n_requests=2, key_values=2500
+        )
         assert payload["singleton_fastpath"]["identical_matches"] == 1.0
         assert payload["end_to_end"]["identical_matches"]
         assert all(run["identical_matches"] for run in payload["worker_scaling"]["runs"])
         assert payload["engine_pool"]["identical_results"] == 1.0
+        assert all(run["identical_keys"] for run in payload["surface_keys"]["runs"])
         assert module.report(payload)
         written = module.write_json(payload, str(tmp_path / "BENCH_parallel.json"))
         assert written.exists()
@@ -111,7 +114,11 @@ class TestParallelAblationHarness:
 class TestAnnAblationHarness:
     def test_small_run_records_the_acceptance_claims(self, tmp_path):
         module = _load("bench_ablation_ann")
-        payload = module.run_all(n_pairs=80, mixed_pairs=60, top_ks=(1, 3))
+        # probe_values stays small: the >= 5x speedup assert only arms at
+        # full scale, and wall-clock ratios are too noisy for a unit test.
+        payload = module.run_all(
+            n_pairs=80, mixed_pairs=60, top_ks=(1, 3), probe_values=600
+        )
         recall = payload["synonym_recall"]
         # Strict recall improvement at sub-dense cost — the PR's claim.
         assert recall["semantic"]["recall"] > recall["surface"]["recall"]
@@ -119,6 +126,11 @@ class TestAnnAblationHarness:
         mixed = payload["mixed_corruption"]
         assert mixed["modes"]["on"]["recall"] > mixed["modes"]["off"]["recall"]
         assert mixed["modes"]["on"]["pairs_scored"] < mixed["dense_cells"]
+        probe = payload["probe_speedup"]
+        # Byte-identity of the candidate sets is asserted inside the run;
+        # the floor recorded here is what --check-floor guards in CI.
+        assert probe["identical_pairs"]
+        assert probe["floor_seconds"] >= probe["vectorised_seconds"]
         assert module.report(payload)
         written = module.write_json(payload, str(tmp_path / "BENCH_ann.json"))
         assert written.exists()

@@ -85,6 +85,12 @@ class TestEagerValidation:
         with pytest.raises(ValueError, match="ann_top_k"):
             FuzzyFDConfig(ann_top_k=0)
 
+    def test_ann_index_validated(self):
+        FuzzyFDConfig(ann_index="lsh")
+        FuzzyFDConfig(ann_index="ivf")
+        with pytest.raises(ValueError, match="ann_index"):
+            FuzzyFDConfig(ann_index="annoy")
+
     def test_ann_knobs_serialise_and_round_trip(self):
         config = FuzzyFDConfig(
             blocking="on", semantic_blocking="on", ann_tables=4, ann_bits=10, ann_top_k=7
