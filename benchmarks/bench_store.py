@@ -17,8 +17,12 @@ records what each mechanism buys:
    closure) vs the new way (``shared=`` memmap handles).
 4. **Store-on vs store-off identity**: the store never changes results.
 
-Results land in ``BENCH_store.json`` (CI uploads it as an artifact), so the
-cold→warm trajectory is recorded over time.  Absolute speedups are
+Results land in ``BENCH_store.json`` (committed to the repo and uploaded as
+a CI artifact), so the cold→warm trajectory is recorded over time.  The
+committed file's ``warm_start.floor_seconds`` is a perf floor:
+``--check-floor PATH`` re-times the warm start at the committed scale and
+exits 1 on a >2x regression (or any raw embed call on the warm side) — the
+same CI guard treatment ``BENCH_ann.json`` got.  Absolute speedups are
 hardware- and workload-honest: the simulated embedders are cheap, so the
 warm-start ratio here is a *floor* — real model-backed embedders make the
 cold side arbitrarily slower while the warm side stays memmap-bound.
@@ -139,7 +143,36 @@ def run_warm_start_benchmark(n_values: int = 1500, seed: int = 7) -> Dict[str, f
             "published_rows": cold.timings.get("store_published_rows", 0.0),
             "warm_store_hits": warm.timings.get("cache_store_hits", 0.0),
             "identical_output": float(warm.table.rows == cold.table.rows),
+            # The committed perf floor --check-floor compares against,
+            # clamped so sub-quarter-second runs don't produce a floor that
+            # normal CI jitter would trip.
+            "floor_seconds": max(warm_seconds, 0.25),
         }
+
+
+def check_floor(path: str) -> int:
+    """CI guard: 1 if the warm start regressed >2x vs the committed floor."""
+    committed = json.loads(Path(path).read_text(encoding="utf-8"))
+    warm_start = committed.get("warm_start")
+    if not isinstance(warm_start, dict) or "floor_seconds" not in warm_start:
+        print(f"{path} has no warm_start floor; nothing to check")
+        return 0
+    current = run_warm_start_benchmark(n_values=int(warm_start["n_values"]))
+    floor = float(warm_start["floor_seconds"])
+    limit = 2.0 * floor
+    seconds = float(current["warm_seconds"])
+    print(
+        f"warm-start floor check at {warm_start['n_values']:,.0f} values: "
+        f"{seconds:.3f}s current vs {floor:.3f}s committed floor (limit {limit:.3f}s)"
+    )
+    if current["warm_raw_embeds"] != 0.0:
+        print("FAIL: the warm start made raw embed calls — the store went cold")
+        return 1
+    if seconds > limit:
+        print("FAIL: warm start regressed more than 2x vs the committed floor")
+        return 1
+    print("OK: within the floor")
+    return 0
 
 
 # ---------------------------------------------------------------------------------
@@ -379,7 +412,15 @@ if __name__ == "__main__":
     parser.add_argument(
         "--output", default=DEFAULT_OUTPUT, help="where to write the JSON payload"
     )
+    parser.add_argument(
+        "--check-floor",
+        metavar="PATH",
+        help="re-time the warm start at the committed scale and exit 1 on a "
+        ">2x regression vs floor_seconds in PATH (the CI guard)",
+    )
     arguments = parser.parse_args()
+    if arguments.check_floor:
+        raise SystemExit(check_floor(arguments.check_floor))
     if arguments.smoke:
         payload = run_all(
             n_values=400, ann_values=600, handoff_rows=4000, identity_values=150

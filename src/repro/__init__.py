@@ -36,9 +36,10 @@ from repro.core import (
     integrate,
 )
 from repro.registry import Registry, UnknownNameError
+from repro.service import IntegrationService
 from repro.table import Table, read_csv, write_csv
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -52,6 +53,7 @@ __all__ = [
     "RegularFullDisjunction",
     "FuzzyIntegrationResult",
     "IntegrationEngine",
+    "IntegrationService",
     "ValueMatcher",
     "Registry",
     "UnknownNameError",

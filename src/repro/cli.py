@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Three subcommands expose the library to shell users:
+Four subcommands expose the library to shell users:
 
 ``repro integrate``
     Integrate a set of CSV tables (files or a directory) into one table with
@@ -17,6 +17,12 @@ Three subcommands expose the library to shell users:
 ``repro benchmark``
     Run one of the paper's experiments (``table1``, ``em``, ``fig3``) at a
     chosen scale and print the resulting table/series.
+
+``repro serve``
+    Start the HTTP serving layer (:mod:`repro.service`): one long-lived
+    warm engine behind ``/integrate``, ``/stats`` and ``/healthz``, with
+    admission control and per-request deadlines.  ``--store-dir`` attaches
+    the persistent artifact store so restarts are warm.
 
 Installed as the ``repro`` console script; also runnable with
 ``python -m repro.cli``.
@@ -112,8 +118,17 @@ _INTEGRATE_CONFIG_FLAGS = (
     "store_mode",
 )
 
+#: ``serve`` adds the service knobs on top of the shared engine flags.
+_SERVE_CONFIG_FLAGS = _INTEGRATE_CONFIG_FLAGS + (
+    "service_max_pending",
+    "service_max_concurrency",
+    "service_deadline_ms",
+)
 
-def _build_config(args: argparse.Namespace) -> FuzzyFDConfig:
+
+def _build_config(
+    args: argparse.Namespace, flags: Sequence[str] = _INTEGRATE_CONFIG_FLAGS
+) -> FuzzyFDConfig:
     """Resolve the effective config: preset / JSON base, then explicit flags."""
     explicit = getattr(args, "_explicit", set())
     try:
@@ -124,7 +139,7 @@ def _build_config(args: argparse.Namespace) -> FuzzyFDConfig:
         else:
             config = FuzzyFDConfig()
         overrides = {
-            knob: getattr(args, knob) for knob in _INTEGRATE_CONFIG_FLAGS if knob in explicit
+            knob: getattr(args, knob) for knob in flags if knob in explicit
         }
         if (
             overrides.get("store_dir")
@@ -233,9 +248,136 @@ def cmd_benchmark(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: run the HTTP serving layer until interrupted."""
+    import asyncio
+
+    from repro.service import IntegrationService
+    from repro.service.http import serve_forever
+
+    config = _build_config(args, flags=_SERVE_CONFIG_FLAGS)
+    service = IntegrationService(config)
+    store = service.engine.store
+    if store is not None:
+        print(f"artifact store attached at {store.root} (mode={config.store_mode})")
+    try:
+        asyncio.run(serve_forever(service, host=args.host, port=args.port))
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close()
+    return 0
+
+
 # ---------------------------------------------------------------------------------
 # parser
 # ---------------------------------------------------------------------------------
+
+
+def _add_engine_config_flags(parser: argparse.ArgumentParser) -> None:
+    """The engine-config flags ``integrate`` and ``serve`` share.
+
+    Every flag uses :class:`_TrackedStore` so ``--preset``/``--config-json``
+    stay the base configuration and only explicitly passed flags override it.
+    """
+    config_source = parser.add_mutually_exclusive_group()
+    config_source.add_argument(
+        "--preset",
+        type=_registry_name(PRESETS),
+        help=f"start from a named configuration preset ({', '.join(available_presets())}); "
+        "explicitly passed flags still override it",
+    )
+    config_source.add_argument(
+        "--config-json",
+        metavar="PATH",
+        help="load the configuration from a JSON file (FuzzyFDConfig.from_json); "
+        "explicitly passed flags still override it",
+    )
+    parser.add_argument(
+        "--embedder", default="mistral", type=_registry_name(EMBEDDERS),
+        action=_TrackedStore, help="embedding model registry name",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.7, action=_TrackedStore,
+        help="matching threshold θ",
+    )
+    parser.add_argument(
+        "--fd-algorithm", default="alite", type=_registry_name(FD_ALGORITHMS),
+        action=_TrackedStore, help="full disjunction algorithm registry name",
+    )
+    parser.add_argument(
+        "--alignment", default="by_name", type=_registry_name(ALIGNMENT_STRATEGIES),
+        action=_TrackedStore, help="alignment strategy registry name",
+    )
+    parser.add_argument(
+        "--blocking",
+        default="off",
+        choices=["off", "on", "auto"],
+        action=_TrackedStore,
+        help="route wide column pairs through the component-wise blocked matcher",
+    )
+    parser.add_argument(
+        "--semantic-blocking",
+        dest="semantic_blocking",
+        default="off",
+        choices=["off", "on", "auto"],
+        action=_TrackedStore,
+        help="ANN candidate channel of the blocked matcher: union embedding-nearest "
+        "pairs with the surface-key candidates (on = always, auto = only when "
+        "surface keys leave values uncovered; requires --blocking on/auto for 'on')",
+    )
+    parser.add_argument(
+        "--ann-top-k",
+        dest="ann_top_k",
+        type=int,
+        default=5,
+        action=_TrackedStore,
+        help="candidate pairs the semantic channel emits per probing value",
+    )
+    parser.add_argument(
+        "--ann-index",
+        dest="ann_index",
+        default="lsh",
+        choices=["lsh", "ivf"],
+        action=_TrackedStore,
+        help="semantic-channel retrieval index: lsh (hyperplane tables, with "
+        "automatic IVF fallback on skewed buckets) or ivf (force the seeded "
+        "k-means inverted-file index)",
+    )
+    parser.add_argument(
+        "--workers",
+        dest="max_workers",
+        type=int,
+        default=1,
+        action=_TrackedStore,
+        help="worker bound of the parallel execution layer (1 = single-threaded)",
+    )
+    parser.add_argument(
+        "--parallel-backend",
+        dest="parallel_backend",
+        default="thread",
+        choices=["serial", "thread", "process"],
+        action=_TrackedStore,
+        help="executor backend used when --workers > 1",
+    )
+    parser.add_argument(
+        "--store-dir",
+        dest="store_dir",
+        default=None,
+        action=_TrackedStore,
+        help="directory of the persistent artifact store (memmapped embeddings "
+        "and durable ANN indexes); repeated invocations over the same values "
+        "start warm",
+    )
+    parser.add_argument(
+        "--store-mode",
+        dest="store_mode",
+        default="readwrite",
+        choices=["off", "read", "readwrite"],
+        action=_TrackedStore,
+        help="how --store-dir is used: readwrite (attach and publish, the "
+        "default), read (attach only), off (ignore the directory)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -252,104 +394,7 @@ def build_parser() -> argparse.ArgumentParser:
     integrate_parser.add_argument("inputs", nargs="+", help="CSV files or directories")
     integrate_parser.add_argument("--output", "-o", help="write the integrated table to this CSV")
     integrate_parser.add_argument("--regular", action="store_true", help="use equi-join FD (no fuzziness)")
-    config_source = integrate_parser.add_mutually_exclusive_group()
-    config_source.add_argument(
-        "--preset",
-        type=_registry_name(PRESETS),
-        help=f"start from a named configuration preset ({', '.join(available_presets())}); "
-        "explicitly passed flags still override it",
-    )
-    config_source.add_argument(
-        "--config-json",
-        metavar="PATH",
-        help="load the configuration from a JSON file (FuzzyFDConfig.from_json); "
-        "explicitly passed flags still override it",
-    )
-    integrate_parser.add_argument(
-        "--embedder", default="mistral", type=_registry_name(EMBEDDERS),
-        action=_TrackedStore, help="embedding model registry name",
-    )
-    integrate_parser.add_argument(
-        "--threshold", type=float, default=0.7, action=_TrackedStore,
-        help="matching threshold θ",
-    )
-    integrate_parser.add_argument(
-        "--fd-algorithm", default="alite", type=_registry_name(FD_ALGORITHMS),
-        action=_TrackedStore, help="full disjunction algorithm registry name",
-    )
-    integrate_parser.add_argument(
-        "--alignment", default="by_name", type=_registry_name(ALIGNMENT_STRATEGIES),
-        action=_TrackedStore, help="alignment strategy registry name",
-    )
-    integrate_parser.add_argument(
-        "--blocking",
-        default="off",
-        choices=["off", "on", "auto"],
-        action=_TrackedStore,
-        help="route wide column pairs through the component-wise blocked matcher",
-    )
-    integrate_parser.add_argument(
-        "--semantic-blocking",
-        dest="semantic_blocking",
-        default="off",
-        choices=["off", "on", "auto"],
-        action=_TrackedStore,
-        help="ANN candidate channel of the blocked matcher: union embedding-nearest "
-        "pairs with the surface-key candidates (on = always, auto = only when "
-        "surface keys leave values uncovered; requires --blocking on/auto for 'on')",
-    )
-    integrate_parser.add_argument(
-        "--ann-top-k",
-        dest="ann_top_k",
-        type=int,
-        default=5,
-        action=_TrackedStore,
-        help="candidate pairs the semantic channel emits per probing value",
-    )
-    integrate_parser.add_argument(
-        "--ann-index",
-        dest="ann_index",
-        default="lsh",
-        choices=["lsh", "ivf"],
-        action=_TrackedStore,
-        help="semantic-channel retrieval index: lsh (hyperplane tables, with "
-        "automatic IVF fallback on skewed buckets) or ivf (force the seeded "
-        "k-means inverted-file index)",
-    )
-    integrate_parser.add_argument(
-        "--workers",
-        dest="max_workers",
-        type=int,
-        default=1,
-        action=_TrackedStore,
-        help="worker bound of the parallel execution layer (1 = single-threaded)",
-    )
-    integrate_parser.add_argument(
-        "--parallel-backend",
-        dest="parallel_backend",
-        default="thread",
-        choices=["serial", "thread", "process"],
-        action=_TrackedStore,
-        help="executor backend used when --workers > 1",
-    )
-    integrate_parser.add_argument(
-        "--store-dir",
-        dest="store_dir",
-        default=None,
-        action=_TrackedStore,
-        help="directory of the persistent artifact store (memmapped embeddings "
-        "and durable ANN indexes); repeated invocations over the same values "
-        "start warm",
-    )
-    integrate_parser.add_argument(
-        "--store-mode",
-        dest="store_mode",
-        default="readwrite",
-        choices=["off", "read", "readwrite"],
-        action=_TrackedStore,
-        help="how --store-dir is used: readwrite (attach and publish, the "
-        "default), read (attach only), off (ignore the directory)",
-    )
+    _add_engine_config_flags(integrate_parser)
     integrate_parser.add_argument("--max-rows", type=int, default=20, help="rows to print without --output")
     integrate_parser.add_argument("--show-rewrites", action="store_true", help="print the value rewrites applied")
     integrate_parser.set_defaults(func=cmd_integrate)
@@ -398,6 +443,43 @@ def build_parser() -> argparse.ArgumentParser:
     benchmark_parser.add_argument("--values-per-column", type=int, default=100)
     benchmark_parser.add_argument("--sizes", type=int, nargs="+", default=[500, 1000, 1500, 2000])
     benchmark_parser.set_defaults(func=cmd_benchmark)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the HTTP serving layer over one long-lived engine"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_parser.add_argument(
+        "--port", type=int, default=8080,
+        help="bind port (0 = let the OS pick; the bound port is printed)",
+    )
+    _add_engine_config_flags(serve_parser)
+    serve_parser.add_argument(
+        "--max-pending",
+        dest="service_max_pending",
+        type=int,
+        default=32,
+        action=_TrackedStore,
+        help="admitted-but-not-executing requests the service buffers before "
+        "rejecting with ServiceOverloaded (0 = reject whenever all slots busy)",
+    )
+    serve_parser.add_argument(
+        "--max-concurrency",
+        dest="service_max_concurrency",
+        type=int,
+        default=4,
+        action=_TrackedStore,
+        help="requests executed concurrently on the engine-owned worker pool",
+    )
+    serve_parser.add_argument(
+        "--deadline-ms",
+        dest="service_deadline_ms",
+        type=float,
+        default=None,
+        action=_TrackedStore,
+        help="default per-request deadline budget in milliseconds, checked at "
+        "stage boundaries (unset = no deadline)",
+    )
+    serve_parser.set_defaults(func=cmd_serve)
 
     return parser
 

@@ -134,6 +134,21 @@ class FuzzyFDConfig:
         write — e.g. many engines sharing one store only one of them owns),
         or ``"off"`` (ignore the directory).  The store never changes
         results, only whether artifacts are recomputed or loaded.
+    service_max_pending:
+        Admission bound of the :class:`~repro.service.IntegrationService`:
+        requests admitted but not yet executing.  Once this many are queued,
+        new submissions are rejected with a typed ``ServiceOverloaded``
+        response instead of buffering without bound (backpressure).  ``0``
+        rejects whenever every concurrency slot is busy.
+    service_max_concurrency:
+        Requests the service executes concurrently on the engine-owned
+        worker pool.  Admitted requests beyond this wait in the pending
+        queue (their queue-wait time lands in the request trace).
+    service_deadline_ms:
+        Default per-request deadline budget of the service in milliseconds
+        (queue wait included), checked at stage boundaries
+        (align → match → integrate); ``None`` (the default) means no
+        deadline unless the request carries its own ``deadline_ms``.
     """
 
     embedder: Union[str, ValueEmbedder] = "mistral"
@@ -155,6 +170,9 @@ class FuzzyFDConfig:
     parallel_backend: str = "thread"
     store_dir: Optional[str] = None
     store_mode: str = "off"
+    service_max_pending: int = 32
+    service_max_concurrency: int = 4
+    service_deadline_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.threshold <= 1.0:
@@ -206,6 +224,20 @@ class FuzzyFDConfig:
             # Paths are accepted for convenience but held as strings so
             # to_dict()/to_json() stay plainly serialisable.
             self.store_dir = str(self.store_dir)
+        if self.service_max_pending < 0:
+            raise ValueError(
+                f"service_max_pending must be >= 0, got {self.service_max_pending}"
+            )
+        if self.service_max_concurrency < 1:
+            raise ValueError(
+                f"service_max_concurrency must be >= 1, "
+                f"got {self.service_max_concurrency}"
+            )
+        if self.service_deadline_ms is not None and self.service_deadline_ms <= 0:
+            raise ValueError(
+                f"service_deadline_ms must be positive or None, "
+                f"got {self.service_deadline_ms}"
+            )
         # Every registry-resolved knob is checked here, at construction, so an
         # unknown name can never survive into the pipeline's hot path.
         if isinstance(self.embedder, str):
@@ -348,6 +380,10 @@ PRESETS: Registry[Dict[str, Any]] = Registry(
             # Persistence engages once the caller supplies store_dir; the
             # preset only declares the intent to both attach and publish.
             "store_mode": "readwrite",
+            # Serving defaults sized for a data-lake deployment: deeper
+            # admission queue and one executing request per worker.
+            "service_max_pending": 64,
+            "service_max_concurrency": 4,
         },
     },
 )

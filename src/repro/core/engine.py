@@ -21,10 +21,13 @@ or as one call with per-request overrides::
         engine.integrate(tables, threshold=theta)   # embeds values only once
 
 The engine is a multi-client service: :meth:`IntegrationEngine.integrate_many`
-serves a batch of requests over a bounded thread pool (the embedding cache is
-thread-safe and matchers are per-worker-thread), and the ``max_workers`` /
-``parallel_backend`` config knobs additionally parallelise the inside of a
-single request (component-wise matching, partitioned FD).
+serves a batch of requests over the engine-owned worker pool
+(:meth:`IntegrationEngine.worker_pool` — one long-lived executor shared with
+the :class:`~repro.service.IntegrationService` front-end, never a fresh pool
+per call; the embedding cache is thread-safe and matchers are
+per-worker-thread), and the ``max_workers`` / ``parallel_backend`` config
+knobs additionally parallelise the inside of a single request
+(component-wise matching, partitioned FD).
 
 With ``store_dir`` configured the warmth outlives the process: construction
 attaches a :class:`~repro.storage.cache.StoreBackedEmbeddingCache` (so a
@@ -40,8 +43,9 @@ from __future__ import annotations
 
 import threading
 import time
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import FuzzyFDConfig
 from repro.core.value_matching import ColumnValues, ValueMatcher, ValueMatchingResult
@@ -54,7 +58,6 @@ from repro.schema_matching.strategies import ALIGNMENT_STRATEGIES
 from repro.storage.cache import StoreBackedEmbeddingCache
 from repro.storage.store import ArtifactStore
 from repro.table.table import Table
-from repro.utils.executor import ExecutorConfig, run_partitioned
 
 #: Knobs :meth:`IntegrationEngine.integrate` accepts as per-request overrides.
 REQUEST_OVERRIDES = (
@@ -191,6 +194,14 @@ class IntegrationEngine:
         # so two concurrent ``integrate_many`` requests must never share one.
         self._thread_state = threading.local()
         self._served_lock = threading.Lock()
+        # The engine-owned request pool (lazy; see worker_pool()).  One
+        # long-lived ThreadPoolExecutor serves every request-level consumer
+        # so repeated integrate_many calls — and the IntegrationService's
+        # off-loop execution — reuse warm threads instead of paying a pool
+        # construction per call.
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_workers = 0
+        self._pool_lock = threading.Lock()
 
     # -- introspection -------------------------------------------------------------
     @property
@@ -219,6 +230,50 @@ class IntegrationEngine:
         if self.store is None:
             return {}
         return self.store.statistics()
+
+    # -- the engine-owned request pool ---------------------------------------------
+    def worker_pool(self, min_workers: Optional[int] = None) -> ThreadPoolExecutor:
+        """The engine-owned request-level worker pool (lazy, long-lived).
+
+        Every request-level consumer — :meth:`integrate_many` batches and the
+        :class:`~repro.service.IntegrationService`'s off-event-loop execution
+        — runs on this one pool, so repeated calls reuse warm threads instead
+        of constructing a ``ThreadPoolExecutor`` per invocation.  The pool is
+        sized ``max(config.max_workers, min_workers)`` and only ever *grows*:
+        asking for more workers than the current pool holds replaces it (the
+        old pool drains its in-flight work in the background), so the
+        returned instance is stable across calls as long as demand does not
+        grow — which tests assert by identity.
+        """
+        needed = max(self.config.max_workers, min_workers if min_workers else 1)
+        with self._pool_lock:
+            if self._pool is None or self._pool_workers < needed:
+                previous = self._pool
+                self._pool = ThreadPoolExecutor(
+                    max_workers=needed, thread_name_prefix="repro-engine"
+                )
+                self._pool_workers = needed
+                if previous is not None:
+                    previous.shutdown(wait=False)
+            return self._pool
+
+    def close(self) -> None:
+        """Shut down the engine-owned worker pool (idempotent).
+
+        The engine stays usable — the next pooled call lazily recreates the
+        pool — but a long-lived process that is done serving should close so
+        worker threads do not outlive their work.
+        """
+        with self._pool_lock:
+            pool, self._pool, self._pool_workers = self._pool, None, 0
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "IntegrationEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def __repr__(self) -> str:
         return (
@@ -329,6 +384,7 @@ class IntegrationEngine:
         fuzzy: bool = True,
         fd_algorithm: Union[str, FullDisjunctionAlgorithm, None] = None,
         alignment_strategy: Optional[str] = None,
+        on_stage: Optional[Callable[[str], None]] = None,
         **overrides: Any,
     ) -> FuzzyIntegrationResult:
         """Serve one integration request.
@@ -339,6 +395,16 @@ class IntegrationEngine:
         (:data:`REQUEST_OVERRIDES`, e.g. ``threshold=0.8``) reconfigure the
         matching stage for this request only; the warm embedder and its cache
         are reused, so a threshold sweep embeds each value once.
+
+        ``on_stage`` is the stage-boundary hook of the serving layer: it is
+        called with the stage about to run (``"align"``, ``"match"``,
+        ``"integrate"``) and once with ``"complete"`` after the request
+        finishes (publication included).  Stages skipped by the input shape
+        (a pre-aligned :class:`AlignmentStage`, ``fuzzy=False``, a
+        :class:`MatchStage`) never fire their hook.  Exceptions raised by
+        the hook propagate unchanged — that is how a deadline enforcer
+        (:class:`~repro.service.StageTracker`) turns a budget overrun into a
+        typed error instead of letting the next stage start.
         """
         if isinstance(tables, MatchStage):
             # Executor knobs still steer the FD stage that is about to run;
@@ -388,11 +454,17 @@ class IntegrationEngine:
                             "pass either an explicit alignment or an "
                             "alignment_strategy, not both"
                         )
+                    if on_stage is not None:
+                        on_stage("align")
                     aligned = self.apply_alignment(tables, alignment)
                 else:
+                    if on_stage is not None:
+                        on_stage("align")
                     aligned = self.align(tables, strategy=alignment_strategy)
             effective = self._effective_config(overrides)
             if fuzzy:
+                if on_stage is not None:
+                    on_stage("match")
                 staged = self.match(aligned, _effective=effective, **overrides)
             else:
                 # Without the matching stage, matching-only overrides would
@@ -411,6 +483,8 @@ class IntegrationEngine:
                     timings=dict(aligned.timings),
                 )
 
+        if on_stage is not None:
+            on_stage("integrate")
         fd = self._resolve_fd(fd_algorithm, effective)
         timings = dict(staged.timings)
         start = time.perf_counter()
@@ -427,6 +501,8 @@ class IntegrationEngine:
 
         with self._served_lock:
             self.requests_served += 1
+        if on_stage is not None:
+            on_stage("complete")
         return FuzzyIntegrationResult(
             table=fd_result.table,
             fd_result=fd_result,
@@ -448,24 +524,40 @@ class IntegrationEngine:
         ``requests`` is a sequence of table lists; each is served exactly as
         :meth:`integrate` would serve it (``overrides`` apply to every
         request), and the results come back in request order — identical to a
-        sequential loop, whatever the worker count.  Workers are threads
-        sharing the warm embedder: the embedding cache is thread-safe, and
-        each worker thread builds its own matcher, so requests never share
-        mutable matching state.  ``max_workers`` defaults to the engine
-        config's ``max_workers``; ``1`` serves the batch serially.
+        sequential loop, whatever the worker count.  Workers are threads of
+        the engine-owned pool (:meth:`worker_pool` — one long-lived executor
+        reused across calls, never a fresh pool per invocation) sharing the
+        warm embedder: the embedding cache is thread-safe, and each worker
+        thread builds its own matcher, so requests never share mutable
+        matching state.  ``max_workers`` defaults to the engine config's
+        ``max_workers``; ``1`` serves the batch serially.  At most
+        ``max_workers`` requests are in flight at once even when the pool
+        itself is larger (a submission window, not a pool per call).
         """
         workers = max_workers if max_workers is not None else self.config.max_workers
         if workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {workers}")
         request_list = list(requests)
+        if workers == 1 or len(request_list) < 2:
+            return [self.integrate(tables, **overrides) for tables in request_list]
         # The engine's state lives in this process, so the request pool is
         # thread-based regardless of ``parallel_backend`` (which still
         # steers the per-request component solving).
-        pool = ExecutorConfig(backend="thread", max_workers=workers, batch_size=1,
-                              min_parallel_items=2)
-        return run_partitioned(
-            request_list, lambda tables: self.integrate(tables, **overrides), pool
-        )
+        pool = self.worker_pool(workers)
+        results: List[Optional[FuzzyIntegrationResult]] = [None] * len(request_list)
+        pending: Dict[Future, int] = {}
+        index = 0
+        while index < len(request_list) or pending:
+            while index < len(request_list) and len(pending) < workers:
+                future = pool.submit(self.integrate, request_list[index], **overrides)
+                pending[future] = index
+                index += 1
+            done, _ = wait(set(pending), return_when=FIRST_COMPLETED)
+            for future in done:
+                # A worker exception propagates to the caller unchanged, as
+                # the per-call pool did; later requests finish in background.
+                results[pending.pop(future)] = future.result()
+        return results
 
     # -- internals -----------------------------------------------------------------
     def _effective_config(self, overrides: Dict[str, Any]) -> FuzzyFDConfig:

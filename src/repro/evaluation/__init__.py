@@ -16,6 +16,7 @@ from repro.evaluation.reporting import (
     format_cache_statistics,
     format_component_histogram,
     format_markdown_table,
+    format_request_trace,
     format_scores_table,
 )
 
@@ -29,5 +30,6 @@ __all__ = [
     "format_cache_statistics",
     "format_component_histogram",
     "format_markdown_table",
+    "format_request_trace",
     "format_scores_table",
 ]

@@ -127,6 +127,48 @@ def format_cache_statistics(source: Mapping[str, float]) -> str:
     return format_markdown_table(["Counter", "Value"], rows)
 
 
+def format_request_trace(trace) -> str:
+    """Render a service :class:`~repro.service.RequestTrace` as markdown.
+
+    ``trace`` is the trace object itself or its :meth:`to_dict` form.  The
+    report has two sections: the latency breakdown (queue wait, then each
+    pipeline stage in execution order, then the total) and the work counters
+    (ANN channel activity, cache tiers, raw embeds, published rows).  A
+    partial trace from a ``DeadlineExceeded`` response renders the stages
+    that finished — the report never invents entries for stages that did
+    not run.
+    """
+    data = trace.to_dict() if hasattr(trace, "to_dict") else dict(trace)
+    if "stage_seconds" not in data:
+        raise ValueError(
+            "trace carries no stage_seconds — pass a RequestTrace (or its "
+            "to_dict()) from a service response"
+        )
+    rows: List[List[object]] = [
+        ["Queue wait", f"{float(data.get('queue_wait_seconds', 0.0)) * 1000.0:.1f} ms"]
+    ]
+    for stage, seconds in data["stage_seconds"].items():
+        rows.append([f"Stage: {stage}", f"{float(seconds) * 1000.0:.1f} ms"])
+    rows.append(["Total", f"{float(data.get('total_seconds', 0.0)) * 1000.0:.1f} ms"])
+    deadline = data.get("deadline_ms")
+    if deadline is not None:
+        rows.append(["Deadline budget", f"{float(deadline):.0f} ms"])
+    counter_spec = [
+        ("ANN pairs added", "ann_pairs_added"),
+        ("ANN probe candidates", "ann_probe_candidates"),
+        ("ANN bucket-skew fallbacks", "ann_bucket_skew"),
+        ("Cache hits (hot tier)", "cache_hits"),
+        ("Cache hits (store tier)", "cache_store_hits"),
+        ("Cache misses", "cache_misses"),
+        ("Raw embed calls", "raw_embed_calls"),
+        ("Embedding rows published", "store_published_rows"),
+    ]
+    for label, key in counter_spec:
+        rows.append([label, f"{float(data.get(key, 0.0)):,.0f}"])
+    header = f"request {data.get('request_id', '?')} — status: {data.get('status', '?')}"
+    return header + "\n" + format_markdown_table(["Field", "Value"], rows)
+
+
 def format_runtime_series(points: Sequence) -> str:
     """Render the Figure 3 series: size | regular FD seconds | fuzzy FD seconds."""
     by_size: Dict[int, Dict[str, float]] = {}

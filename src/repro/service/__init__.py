@@ -1,0 +1,43 @@
+"""The serving layer: a request/response boundary over one warm engine.
+
+``repro.service`` wraps a single long-lived
+:class:`~repro.core.engine.IntegrationEngine` in an asyncio front-end with
+admission control (bounded pending queue → :class:`ServiceOverloaded`),
+per-request deadlines checked at stage boundaries
+(→ :class:`DeadlineExceeded` with a partial trace), and per-request tracing
+(:class:`RequestTrace` on every response, aggregates via
+:meth:`IntegrationService.stats`).  The optional stdlib-only HTTP adapter
+lives in :mod:`repro.service.http`; ``repro serve`` wires it to a config and
+an artifact store so restarts are warm.
+"""
+
+from repro.service.service import LATENCY_WINDOW, IntegrationService
+from repro.service.types import (
+    TRACE_COUNTER_SOURCES,
+    DeadlineExceeded,
+    DeadlineExceededError,
+    IntegrationResponse,
+    RequestTrace,
+    ServiceFailure,
+    ServiceOverloaded,
+    ServiceResponse,
+    ServiceStats,
+    StageTracker,
+    build_trace,
+)
+
+__all__ = [
+    "IntegrationService",
+    "IntegrationResponse",
+    "RequestTrace",
+    "ServiceResponse",
+    "ServiceOverloaded",
+    "DeadlineExceeded",
+    "DeadlineExceededError",
+    "ServiceFailure",
+    "ServiceStats",
+    "StageTracker",
+    "build_trace",
+    "TRACE_COUNTER_SOURCES",
+    "LATENCY_WINDOW",
+]

@@ -1,0 +1,245 @@
+"""Stdlib-only HTTP adapter over :class:`IntegrationService`.
+
+A deliberately small HTTP/1.1 server on ``asyncio.start_server`` — no
+framework, no new dependencies — exposing the three endpoints a deployment
+needs:
+
+``POST /integrate``
+    Body: ``{"tables": [{"name", "columns", "rows"}, ...],
+    "deadline_ms": <optional>, "overrides": {<optional REQUEST_OVERRIDES>}}``.
+    Replies with the integrated table, the request trace and a ``status``;
+    the HTTP code mirrors the service outcome (200 ok, 503 overloaded,
+    504 deadline exceeded, 400 bad request / pipeline error).
+``GET /stats``
+    The :meth:`IntegrationService.stats` snapshot as JSON.
+``GET /healthz``
+    Liveness: ``{"status": "ok", "requests_served": N}``.
+
+Null cells (plain or labelled) serialise as JSON ``null`` on the way out and
+JSON ``null`` deserialises to :data:`~repro.table.nulls.NULL` on the way in,
+so a round-trip preserves the missing-value semantics of Figure 1.
+
+Connections are ``Connection: close`` — one request per connection keeps the
+parser honest and is plenty for the smoke-test and benchmark traffic this
+adapter serves; a production fleet would sit it behind a real ingress.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.service.service import IntegrationService
+from repro.service.types import (
+    DeadlineExceeded,
+    IntegrationResponse,
+    ServiceOverloaded,
+    ServiceResponse,
+)
+from repro.table.nulls import NULL, is_null
+from repro.table.table import Table
+
+#: Service outcome ``status`` -> HTTP status line.
+STATUS_CODES = {
+    "ok": (200, "OK"),
+    "overloaded": (503, "Service Unavailable"),
+    "deadline_exceeded": (504, "Gateway Timeout"),
+    "error": (400, "Bad Request"),
+}
+
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class BadRequest(ValueError):
+    """The request body did not describe a valid integration request."""
+
+
+def table_to_json(table: Table) -> Dict[str, Any]:
+    """Serialise a table; null cells (plain or labelled) become ``null``."""
+    return {
+        "name": table.name,
+        "columns": list(table.columns),
+        "rows": [
+            [None if is_null(cell) else cell for cell in row] for row in table.rows
+        ],
+    }
+
+
+def tables_from_json(payload: Any) -> List[Table]:
+    """Parse the ``tables`` field of an ``/integrate`` body."""
+    if not isinstance(payload, list) or not payload:
+        raise BadRequest("'tables' must be a non-empty list of table objects")
+    tables = []
+    for index, entry in enumerate(payload):
+        if not isinstance(entry, dict) or "columns" not in entry:
+            raise BadRequest(f"tables[{index}] must be an object with 'columns'")
+        columns = entry["columns"]
+        if not isinstance(columns, list) or not columns:
+            raise BadRequest(f"tables[{index}].columns must be a non-empty list")
+        rows = entry.get("rows", [])
+        if not isinstance(rows, list):
+            raise BadRequest(f"tables[{index}].rows must be a list of rows")
+        name = entry.get("name", f"table_{index}")
+        converted = [
+            [NULL if cell is None else cell for cell in row] for row in rows
+        ]
+        try:
+            tables.append(Table(str(name), [str(c) for c in columns], converted))
+        except ValueError as exc:
+            raise BadRequest(f"tables[{index}]: {exc}") from exc
+    return tables
+
+
+def response_to_json(response: ServiceResponse) -> Dict[str, Any]:
+    """The JSON body for any service response (trace included when present)."""
+    body: Dict[str, Any] = {
+        "status": response.status,
+        "request_id": response.request_id,
+        "trace": response.trace.to_dict() if response.trace is not None else None,
+    }
+    if isinstance(response, IntegrationResponse) and response.result is not None:
+        body["table"] = table_to_json(response.result.table)
+    elif isinstance(response, ServiceOverloaded):
+        body["pending"] = response.pending
+        body["max_pending"] = response.max_pending
+    elif isinstance(response, DeadlineExceeded):
+        body["stage"] = response.stage
+        body["deadline_ms"] = response.deadline_ms
+    else:
+        error = getattr(response, "error", None)
+        if error:
+            body["error"] = error
+    return body
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[str, str, bytes]]:
+    """Read one HTTP/1.1 request; returns (method, path, body) or None on EOF."""
+    request_line = await reader.readline()
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").split()
+    if len(parts) < 2:
+        raise BadRequest("malformed request line")
+    method, path = parts[0].upper(), parts[1]
+    content_length = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            try:
+                content_length = int(value.strip())
+            except ValueError as exc:
+                raise BadRequest("invalid Content-Length") from exc
+    if content_length > MAX_BODY_BYTES:
+        raise BadRequest(f"body exceeds {MAX_BODY_BYTES} bytes")
+    body = await reader.readexactly(content_length) if content_length else b""
+    return method, path, body
+
+
+def _encode_response(code: int, reason: str, payload: Dict[str, Any]) -> bytes:
+    body = json.dumps(payload, default=str).encode("utf-8")
+    head = (
+        f"HTTP/1.1 {code} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+async def _dispatch(
+    service: IntegrationService, method: str, path: str, body: bytes
+) -> Tuple[int, str, Dict[str, Any]]:
+    path = path.split("?", 1)[0]
+    if method == "GET" and path == "/healthz":
+        return 200, "OK", {
+            "status": "ok",
+            "requests_served": service.engine.requests_served,
+        }
+    if method == "GET" and path == "/stats":
+        return 200, "OK", service.stats().to_dict()
+    if method == "POST" and path == "/integrate":
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise BadRequest(f"body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise BadRequest("body must be a JSON object")
+        tables = tables_from_json(payload.get("tables"))
+        deadline_ms = payload.get("deadline_ms")
+        if deadline_ms is not None and (
+            not isinstance(deadline_ms, (int, float)) or deadline_ms <= 0
+        ):
+            raise BadRequest("deadline_ms must be a positive number")
+        overrides = payload.get("overrides", {})
+        if not isinstance(overrides, dict):
+            raise BadRequest("overrides must be an object")
+        response = await service.integrate(
+            tables, deadline_ms=deadline_ms, **overrides
+        )
+        code, reason = STATUS_CODES.get(response.status, (500, "Internal Server Error"))
+        return code, reason, response_to_json(response)
+    return 404, "Not Found", {"status": "error", "error": f"no route {method} {path}"}
+
+
+async def handle_connection(
+    service: IntegrationService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    """Serve one request on one connection, then close it."""
+    try:
+        try:
+            request = await _read_request(reader)
+            if request is None:
+                return
+            code, reason, payload = await _dispatch(service, *request)
+        except (BadRequest, asyncio.IncompleteReadError) as exc:
+            code, reason, payload = 400, "Bad Request", {
+                "status": "error",
+                "error": str(exc),
+            }
+        writer.write(_encode_response(code, reason, payload))
+        await writer.drain()
+    except (ConnectionResetError, BrokenPipeError):  # pragma: no cover - client gone
+        pass
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+
+
+async def start_http_server(
+    service: IntegrationService, host: str = "127.0.0.1", port: int = 0
+) -> asyncio.AbstractServer:
+    """Bind and return the server (``port=0`` picks a free port).
+
+    The bound address is ``server.sockets[0].getsockname()`` — the CLI
+    prints it so scripted callers (the CI smoke job) can target an
+    OS-assigned port.
+    """
+
+    async def _handler(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        await handle_connection(service, reader, writer)
+
+    return await asyncio.start_server(_handler, host=host, port=port)
+
+
+async def serve_forever(
+    service: IntegrationService, host: str = "127.0.0.1", port: int = 0
+) -> None:
+    """Blocking entry point of ``repro serve``: run until cancelled."""
+    server = await start_http_server(service, host=host, port=port)
+    bound_host, bound_port = server.sockets[0].getsockname()[:2]
+    print(f"serving on http://{bound_host}:{bound_port}", flush=True)
+    async with server:
+        await server.serve_forever()

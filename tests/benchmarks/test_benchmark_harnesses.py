@@ -111,6 +111,67 @@ class TestParallelAblationHarness:
         assert len(left) == len(right) == 60
 
 
+class TestServiceHarness:
+    def test_small_run_records_the_serving_claims(self, tmp_path):
+        module = _load("bench_service")
+        payload = module.run_all(n_requests=6, n_values=30, concurrency=2)
+        steady = payload["steady_state"]
+        assert steady["served"] == steady["requests"]
+        assert steady["requests_per_second"] > 0.0
+        assert steady["latency_p99_seconds"] >= steady["latency_p50_seconds"]
+        cycle = payload["warm_vs_cold"]
+        # The acceptance claim: a warm-store service makes zero raw embeds.
+        assert cycle["warm_raw_embeds"] == 0.0
+        burst = payload["admission_burst"]
+        assert burst["rejected"] > 0.0
+        assert burst["only_ok_or_overloaded"] == 1.0
+        assert burst["accounted"] == 1.0
+        assert burst["max_rejection_seconds"] < 0.050
+        assert module.report(payload)
+        written = module.write_json(payload, str(tmp_path / "BENCH_service.json"))
+        assert written.exists()
+
+    def test_workload_cycles_a_distinct_pool(self):
+        module = _load("bench_service")
+        workload = module.request_workload(8, 20, distinct=2)
+        assert len(workload) == 8
+        assert workload[0] is workload[2] and workload[1] is workload[3]
+        assert workload[0] is not workload[1]
+        # Deterministic across calls — benchmarks must be re-runnable.
+        again = module.request_workload(8, 20, distinct=2)
+        assert workload[0][0].rows == again[0][0].rows
+
+
+class TestStoreHarnessFloor:
+    def test_warm_start_records_a_floor(self):
+        module = _load("bench_store")
+        warm_start = module.run_warm_start_benchmark(n_values=120)
+        assert warm_start["floor_seconds"] >= warm_start["warm_seconds"]
+        assert warm_start["floor_seconds"] >= 0.25
+        assert warm_start["warm_raw_embeds"] == 0.0
+
+    def test_check_floor_passes_on_a_fresh_record(self, tmp_path, capsys):
+        module = _load("bench_store")
+        payload = {
+            "benchmark": "bench-store",
+            "warm_start": module.run_warm_start_benchmark(n_values=120),
+        }
+        record = tmp_path / "BENCH_store.json"
+        module.write_json(payload, str(record))
+        assert module.check_floor(str(record)) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_check_floor_fails_on_a_stale_fast_floor(self, tmp_path):
+        module = _load("bench_store")
+        payload = {
+            "benchmark": "bench-store",
+            "warm_start": {"n_values": 120.0, "floor_seconds": 1e-9},
+        }
+        record = tmp_path / "BENCH_store.json"
+        module.write_json(payload, str(record))
+        assert module.check_floor(str(record)) == 1
+
+
 class TestAnnAblationHarness:
     def test_small_run_records_the_acceptance_claims(self, tmp_path):
         module = _load("bench_ablation_ann")

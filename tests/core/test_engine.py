@@ -256,6 +256,42 @@ class TestIntegrateMany:
         assert embedder.embed_calls == calls_after_first
 
 
+class TestWorkerPool:
+    def test_integrate_many_reuses_one_pool_across_calls(self, covid_tables):
+        # The satellite fix: no fresh ThreadPoolExecutor per call — repeated
+        # batches draw from the same engine-owned executor.
+        engine = IntegrationEngine()
+        engine.integrate_many([covid_tables] * 2, max_workers=2)
+        pool = engine.worker_pool()
+        assert pool is not None
+        engine.integrate_many([covid_tables] * 3, max_workers=2)
+        assert engine.worker_pool() is pool
+        engine.close()
+
+    def test_pool_grows_for_wider_batches_and_stays(self, covid_tables):
+        engine = IntegrationEngine()
+        small = engine.worker_pool(2)
+        grown = engine.worker_pool(4)
+        assert grown is not small  # grew: more demand than threads
+        assert engine.worker_pool(3) is grown  # never shrinks below demand
+        engine.close()
+
+    def test_close_drains_and_reuse_recreates(self, covid_tables):
+        engine = IntegrationEngine()
+        first = engine.worker_pool(2)
+        engine.close()
+        results = engine.integrate_many([covid_tables] * 2, max_workers=2)
+        assert len(results) == 2
+        assert engine.worker_pool() is not first
+        engine.close()
+
+    def test_context_manager_closes_the_pool(self, covid_tables):
+        with IntegrationEngine() as engine:
+            engine.integrate_many([covid_tables] * 2, max_workers=2)
+            assert engine.worker_pool() is not None
+        assert engine._pool is None
+
+
 class TestParallelConfigKnobs:
     def test_max_workers_is_a_per_request_override(self, covid_tables):
         engine = IntegrationEngine()
