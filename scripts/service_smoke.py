@@ -4,13 +4,19 @@ Starts the real CLI entry point (``python -m repro.cli serve``) as a
 subprocess against a temporary artifact store on an OS-assigned port, then
 exercises the HTTP surface end to end:
 
-1. ``GET /healthz`` answers ok.
+1. ``GET /healthz`` answers healthy.
 2. ``POST /integrate`` merges two small tables and the response carries a
    well-formed trace: every stage timing, the cache/ANN counters, and a
    positive total.
 3. A second identical ``POST /integrate`` is served from the warm engine —
    its trace must report zero raw embed calls.
 4. ``GET /stats`` accounts for both requests.
+
+Then a second server boots with a hard-down chaos embedder
+(``--embedder chaos`` + ``REPRO_CHAOS_EMBED_FAILURES=all``) in
+``--degraded-mode surface``: ``POST /integrate`` must still answer 200 with
+``degraded: true`` in its trace, and ``GET /healthz`` must report
+``degraded`` — an open breaker never becomes an unhandled 500.
 
 Exits non-zero (with the server log on stderr) on any failure, so the CI
 job fails loudly.  Run locally with ``python scripts/service_smoke.py``.
@@ -102,30 +108,28 @@ def assert_well_formed_trace(trace: dict, label: str) -> None:
     expect(trace["total_seconds"] > 0, f"{label}: non-positive total_seconds")
 
 
+def serve(extra_args: list[str] | None = None, extra_env: dict | None = None, **popen_kwargs):
+    env = {"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"}
+    env.update(extra_env or {})
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0", *(extra_args or [])],
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        **popen_kwargs,
+    )
+
+
 def main() -> int:
     with tempfile.TemporaryDirectory() as store_dir:
-        process = subprocess.Popen(
-            [
-                sys.executable,
-                "-m",
-                "repro.cli",
-                "serve",
-                "--port",
-                "0",
-                "--store-dir",
-                store_dir,
-            ],
-            cwd=REPO_ROOT,
-            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
-            stdout=subprocess.PIPE,
-            stderr=subprocess.STDOUT,
-            text=True,
-        )
+        process = serve(["--store-dir", store_dir])
         try:
             port = wait_for_port(process)
 
             health = request(port, "GET", "/healthz")
-            expect(health.get("status") == "ok", f"healthz said {health}")
+            expect(health.get("status") == "healthy", f"healthz said {health}")
 
             first = request(port, "POST", "/integrate", INTEGRATE_BODY)
             expect(first.get("status") == "ok", f"integrate said {first.get('status')}")
@@ -150,13 +154,57 @@ def main() -> int:
             expect(stats.get("submitted") == 2, "stats lost a submission")
 
             print("service smoke OK: healthz + 2x integrate + stats, traces well-formed")
-            return 0
         finally:
             process.terminate()
             try:
                 process.wait(timeout=10)
             except subprocess.TimeoutExpired:
                 process.kill()
+
+    # Degraded path: a hard-down embedder must surface as 200 + degraded,
+    # never an unhandled 500.
+    process = serve(
+        [
+            "--embedder",
+            "chaos",
+            "--degraded-mode",
+            "surface",
+            "--breaker-failure-threshold",
+            "1",
+            "--retry-max-attempts",
+            "1",
+            "--retry-backoff-ms",
+            "1",
+        ],
+        extra_env={"REPRO_CHAOS_EMBED_FAILURES": "all"},
+    )
+    try:
+        port = wait_for_port(process)
+
+        degraded = request(port, "POST", "/integrate", INTEGRATE_BODY)
+        expect(
+            degraded.get("status") == "ok",
+            f"degraded integrate said {degraded.get('status')}",
+        )
+        expect(
+            degraded.get("trace", {}).get("degraded") is True,
+            "open breaker did not mark the trace degraded",
+        )
+
+        health = request(port, "GET", "/healthz")
+        expect(
+            health.get("status") == "degraded",
+            f"healthz under open breaker said {health}",
+        )
+
+        print("service smoke OK: chaos embedder served degraded, healthz degraded")
+        return 0
+    finally:
+        process.terminate()
+        try:
+            process.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            process.kill()
 
 
 if __name__ == "__main__":

@@ -30,6 +30,7 @@ from repro.matching.ann import (
 )
 from repro.embeddings.base import ValueEmbedder
 from repro.embeddings.registry import EMBEDDERS
+from repro.embeddings.resilient import DEGRADED_MODES, validate_resilience_knobs
 from repro.fd import FD_ALGORITHMS
 from repro.fd.base import FullDisjunctionAlgorithm
 from repro.matching.assignment import ASSIGNMENT_SOLVERS, AssignmentSolver
@@ -149,6 +150,29 @@ class FuzzyFDConfig:
         (queue wait included), checked at stage boundaries
         (align → match → integrate); ``None`` (the default) means no
         deadline unless the request carries its own ``deadline_ms``.
+    retry_max_attempts:
+        Fault-tolerance: total attempts the engine's
+        :class:`~repro.embeddings.resilient.ResilientEmbedder` wrapper makes
+        per ``embed``/``embed_many`` call before counting the call as failed
+        (``1`` disables retries).
+    retry_backoff_ms:
+        Base delay of the capped exponential backoff between retry attempts
+        (doubled per attempt, capped at 8×, scaled by deterministic jitter).
+    breaker_failure_threshold:
+        Consecutive exhausted embedder calls after which the circuit breaker
+        opens and calls short-circuit with a typed
+        :class:`~repro.embeddings.resilient.EmbedderUnavailable`.
+    breaker_reset_ms:
+        How long the breaker stays open before going half-open and admitting
+        one probe call (success closes it, failure re-opens a full window).
+    degraded_mode:
+        What a request does while the breaker is open: ``"off"`` (the
+        default) propagates ``EmbedderUnavailable`` to the caller,
+        ``"surface"`` degrades value matching to exact + surface-blocking
+        candidates without embeddings (results marked ``degraded`` in
+        statistics and traces), ``"fail"`` makes the service answer a typed
+        503 with a ``Retry-After`` derived from the breaker's remaining
+        open window.
     """
 
     embedder: Union[str, ValueEmbedder] = "mistral"
@@ -173,6 +197,11 @@ class FuzzyFDConfig:
     service_max_pending: int = 32
     service_max_concurrency: int = 4
     service_deadline_ms: Optional[float] = None
+    retry_max_attempts: int = 3
+    retry_backoff_ms: float = 50.0
+    breaker_failure_threshold: int = 5
+    breaker_reset_ms: float = 30_000.0
+    degraded_mode: str = "off"
 
     def __post_init__(self) -> None:
         if not 0.0 < self.threshold <= 1.0:
@@ -237,6 +266,17 @@ class FuzzyFDConfig:
             raise ValueError(
                 f"service_deadline_ms must be positive or None, "
                 f"got {self.service_deadline_ms}"
+            )
+        validate_resilience_knobs(
+            retry_max_attempts=self.retry_max_attempts,
+            retry_backoff_ms=self.retry_backoff_ms,
+            breaker_failure_threshold=self.breaker_failure_threshold,
+            breaker_reset_ms=self.breaker_reset_ms,
+        )
+        if self.degraded_mode not in DEGRADED_MODES:
+            raise ValueError(
+                f"degraded_mode must be one of {list(DEGRADED_MODES)}, "
+                f"got {self.degraded_mode!r}"
             )
         # Every registry-resolved knob is checked here, at construction, so an
         # unknown name can never survive into the pipeline's hot path.
@@ -384,6 +424,9 @@ PRESETS: Registry[Dict[str, Any]] = Registry(
             # admission queue and one executing request per worker.
             "service_max_pending": 64,
             "service_max_concurrency": 4,
+            # A data-lake deployment prefers degraded answers over errors
+            # while the embedding backend is down.
+            "degraded_mode": "surface",
         },
     },
 )

@@ -44,12 +44,14 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import FuzzyFDConfig
 from repro.core.value_matching import ColumnValues, ValueMatcher, ValueMatchingResult
 from repro.embeddings.base import EmbeddingCache, ValueEmbedder
+from repro.embeddings.resilient import OVERRIDABLE_KNOBS, ResilientEmbedder
 from repro.fd import FD_ALGORITHMS
 from repro.fd.base import FullDisjunctionAlgorithm, FullDisjunctionResult
 from repro.matching.assignment import AssignmentSolver
@@ -75,6 +77,11 @@ REQUEST_OVERRIDES = (
     "max_workers",
     "parallel_backend",
     "store_mode",
+    "degraded_mode",
+    "retry_max_attempts",
+    "retry_backoff_ms",
+    "breaker_failure_threshold",
+    "breaker_reset_ms",
 )
 
 #: Overrides for which ``None`` is a meaningful value (not "use the engine
@@ -169,7 +176,22 @@ class IntegrationEngine:
         elif isinstance(config, dict):
             config = FuzzyFDConfig.from_dict(config)
         self.config = config
-        self.embedder: ValueEmbedder = config.resolve_embedder()
+        resolved = config.resolve_embedder()
+        if not isinstance(resolved, ResilientEmbedder):
+            # Every engine embedder is fault-tolerant by construction: retries
+            # with deterministic backoff plus a circuit breaker, configured by
+            # the retry_*/breaker_* knobs.  A caller-supplied ResilientEmbedder
+            # passes through so its own (possibly test-injected) clock and
+            # knobs win.  The wrapper mirrors name/dimension/cache, so store
+            # fingerprints and the cache attach below are unchanged.
+            resolved = ResilientEmbedder(
+                resolved,
+                retry_max_attempts=config.retry_max_attempts,
+                retry_backoff_ms=config.retry_backoff_ms,
+                breaker_failure_threshold=config.breaker_failure_threshold,
+                breaker_reset_ms=config.breaker_reset_ms,
+            )
+        self.embedder: ValueEmbedder = resolved
         self.solver: AssignmentSolver = config.resolve_solver()
         self.fd_algorithm: FullDisjunctionAlgorithm = config.resolve_fd_algorithm()
         #: The persistent artifact store, or ``None`` when persistence is off.
@@ -230,6 +252,18 @@ class IntegrationEngine:
         if self.store is None:
             return {}
         return self.store.statistics()
+
+    def resilience_state(self) -> Dict[str, Any]:
+        """Breaker state + cumulative retry/failure counters of the embedder.
+
+        Always has a ``"state"`` key (``closed`` / ``open`` / ``half_open``);
+        the serving layer turns it into the three-state ``/healthz`` body
+        and the ``/stats`` breaker fields.
+        """
+        describe = getattr(self.embedder, "describe", None)
+        if callable(describe):
+            return describe()
+        return {"state": "closed"}
 
     # -- the engine-owned request pool ---------------------------------------------
     def worker_pool(self, min_workers: Optional[int] = None) -> ThreadPoolExecutor:
@@ -340,7 +374,14 @@ class IntegrationEngine:
         matcher = self._matcher_for(effective)
 
         start = time.perf_counter()
-        value_matching, rewritten = self._match_and_rewrite(matcher, aligned_tables, alignment)
+        # Per-request retry-policy overrides reach the shared resilient
+        # wrapper through its thread-local context; knobs equal to the
+        # engine's own stay untouched (an instance-configured wrapper keeps
+        # its constructor values).  Breaker state is engine-global by design.
+        with self._resilience_overrides(effective):
+            value_matching, rewritten = self._match_and_rewrite(
+                matcher, aligned_tables, alignment
+            )
         timings["value_matching_seconds"] = time.perf_counter() - start
         if effective.blocking != "off":
             # Aggregate the per-group blocking counters next to the phase
@@ -359,14 +400,20 @@ class IntegrationEngine:
                 ),
                 default=0.0,
             )
-        # Cache and durable-index observability: the per-group deltas the
-        # matcher recorded, summed into the request's timing dict (they are
-        # counters, not durations — like the blocking_* keys above).
+        # Cache, durable-index and resilience observability: the per-group
+        # deltas the matcher recorded, summed into the request's timing dict
+        # (they are counters, not durations — like the blocking_* keys
+        # above).  ``degraded`` is a flag, not a count: any degraded group
+        # marks the whole request degraded.
         observability: Dict[str, float] = {}
         for result in value_matching.values():
             for key, value in result.statistics.items():
-                if key.startswith("cache_") or key.startswith("ann_index_"):
+                if key.startswith(("cache_", "ann_index_", "embedder_", "breaker_")):
                     observability[key] = observability.get(key, 0.0) + value
+                elif key == "degraded_assignments":
+                    observability[key] = observability.get(key, 0.0) + value
+                elif key == "degraded":
+                    observability[key] = max(observability.get(key, 0.0), value)
         timings.update(observability)
         return MatchStage(
             alignment=alignment,
@@ -406,6 +453,11 @@ class IntegrationEngine:
         (:class:`~repro.service.StageTracker`) turns a budget overrun into a
         typed error instead of letting the next stage start.
         """
+        corrupt_before = (
+            self.store.statistics().get("corrupt_segments", 0)
+            if self.store is not None
+            else 0
+        )
         if isinstance(tables, MatchStage):
             # Executor knobs still steer the FD stage that is about to run;
             # everything else configures work that already happened.
@@ -499,6 +551,15 @@ class IntegrationEngine:
             if published:
                 timings["store_published_rows"] = float(published)
 
+        if self.store is not None:
+            corrupt_delta = (
+                self.store.statistics().get("corrupt_segments", 0) - corrupt_before
+            )
+            if corrupt_delta > 0:
+                # Corrupt artifacts this request tripped over (now quarantined
+                # by the store) — surfaced per request so traces can flag it.
+                timings["store_corrupt_segments"] = float(corrupt_delta)
+
         with self._served_lock:
             self.requests_served += 1
         if on_stage is not None:
@@ -577,6 +638,22 @@ class IntegrationEngine:
             return self.config
         return self.config.replace(**provided)
 
+    def _resilience_overrides(self, effective: FuzzyFDConfig):
+        """Context applying ``effective``'s retry-policy knobs to the embedder.
+
+        A no-op context when nothing differs from the engine config (the
+        common case) or the embedder is not resilient (a caller-supplied
+        bare instance).
+        """
+        changed = {
+            knob: getattr(effective, knob)
+            for knob in OVERRIDABLE_KNOBS
+            if getattr(effective, knob) != getattr(self.config, knob)
+        }
+        if not changed or not isinstance(self.embedder, ResilientEmbedder):
+            return nullcontext()
+        return self.embedder.overrides(**changed)
+
     def _matcher_for(self, effective: FuzzyFDConfig) -> ValueMatcher:
         matchers: Dict[Tuple, ValueMatcher] = getattr(self._thread_state, "matchers", None)
         if matchers is None:
@@ -596,6 +673,7 @@ class IntegrationEngine:
             effective.max_workers,
             effective.parallel_backend,
             effective.store_mode,
+            effective.degraded_mode,
         )
         matcher = matchers.get(key)
         if matcher is None:
@@ -616,6 +694,7 @@ class IntegrationEngine:
                 max_workers=effective.max_workers,
                 parallel_backend=effective.parallel_backend,
                 store=self._store_for(effective.store_mode),
+                degraded_mode=effective.degraded_mode,
             )
             matchers[key] = matcher
         return matcher

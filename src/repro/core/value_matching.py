@@ -25,6 +25,7 @@ from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.representatives import REPRESENTATIVE_POLICIES, select_representative
 from repro.embeddings.base import ValueEmbedder
+from repro.embeddings.resilient import DEGRADED_MODES, EmbedderUnavailable
 from repro.matching.assignment import AssignmentSolver
 from repro.matching.bipartite import BipartiteValueMatcher, ValueMatch
 from repro.matching.ann import (
@@ -168,9 +169,14 @@ class ValueMatcher:
         max_workers: int = 1,
         parallel_backend: str = "thread",
         store: Optional[ArtifactStore] = None,
+        degraded_mode: str = "off",
     ) -> None:
         if blocking not in ("off", "on", "auto"):
             raise ValueError(f"blocking must be 'off', 'on' or 'auto', got {blocking!r}")
+        if degraded_mode not in DEGRADED_MODES:
+            raise ValueError(
+                f"degraded_mode must be one of {list(DEGRADED_MODES)}, got {degraded_mode!r}"
+            )
         if blocking_cutoff <= 0:
             raise ValueError(f"blocking_cutoff must be positive, got {blocking_cutoff}")
         if semantic_blocking not in ("off", "on", "auto"):
@@ -194,6 +200,10 @@ class ValueMatcher:
         self.blocking_cutoff = blocking_cutoff
         self.blocking_key_cap = blocking_key_cap
         self.semantic_blocking = semantic_blocking
+        self.degraded_mode = degraded_mode
+        # The embedding-free fallback matcher of degraded_mode="surface",
+        # built on first use (reuses the blocked matcher when blocking is on).
+        self._degraded_matcher: Optional[BlockedValueMatcher] = None
         # Validated eagerly (backend name, worker count) by ExecutorConfig;
         # the blocked engine is the only consumer — the exhaustive matcher
         # solves one global assignment and has nothing to distribute.
@@ -244,9 +254,14 @@ class ValueMatcher:
     ) -> List[ValueMatch]:
         """Bipartite matches between two columns (used directly by benchmarks)."""
         matcher = self._matcher_for(len(left.values), len(right.values))
-        if self.exact_first:
-            return matcher.match_exact_first(left.values, right.values)
-        return matcher.match(left.values, right.values)
+        try:
+            if self.exact_first:
+                return matcher.match_exact_first(left.values, right.values)
+            return matcher.match(left.values, right.values)
+        except EmbedderUnavailable:
+            if self.degraded_mode != "surface":
+                raise
+            return self._degraded_fallback().match_degraded(left.values, right.values)
 
     def match_columns(self, columns: Sequence[ColumnValues]) -> ValueMatchingResult:
         """Run the full sequential combined-column procedure over ``columns``."""
@@ -259,6 +274,7 @@ class ValueMatcher:
         # bleed into each other's deltas — the counters are observability,
         # not accounting, so approximate under concurrency is acceptable.
         cache_before = self.embedder.cache.stats()
+        resilience_before = self._resilience_snapshot()
         semantic_blocker = (
             self._blocked_matcher.semantic_blocker
             if self._blocked_matcher is not None
@@ -305,14 +321,35 @@ class ValueMatcher:
         for column in columns[1:]:
             combined_values = [group.representative for group in groups]
             matcher = self._matcher_for(len(combined_values), len(column.values))
-            matches = (
-                matcher.match_exact_first(combined_values, column.values)
-                if self.exact_first
-                else matcher.match(combined_values, column.values)
-            )
+            pair_degraded = False
+            try:
+                matches = (
+                    matcher.match_exact_first(combined_values, column.values)
+                    if self.exact_first
+                    else matcher.match(combined_values, column.values)
+                )
+            except EmbedderUnavailable:
+                # Breaker open.  Under "surface" the pair is re-matched
+                # without embeddings (exact + surface-blocking equality) and
+                # the result is marked degraded; any other mode propagates
+                # the typed error to the engine/service boundary.
+                if self.degraded_mode != "surface":
+                    raise
+                matches = self._degraded_fallback().match_degraded(
+                    combined_values, column.values
+                )
+                pair_degraded = True
+                statistics["degraded"] = 1.0
+                statistics["degraded_assignments"] = (
+                    statistics.get("degraded_assignments", 0.0) + 1.0
+                )
             assignments += 1
             accepted += len(matches)
-            if isinstance(matcher, BlockedValueMatcher) and matcher.last_statistics:
+            if (
+                not pair_degraded
+                and isinstance(matcher, BlockedValueMatcher)
+                and matcher.last_statistics
+            ):
                 blocking_stats = matcher.last_statistics
                 statistics["blocked_assignments"] += 1.0
                 statistics["blocking_components"] += float(blocking_stats.components)
@@ -377,6 +414,16 @@ class ValueMatcher:
                 statistics[f"cache_{counter}"] = float(
                     max(0, cache_after[counter] - cache_before.get(counter, 0))
                 )
+        resilience_after = self._resilience_snapshot()
+        for counter, key in (
+            ("retries", "embedder_retries"),
+            ("breaker_opens", "breaker_opens"),
+            ("breaker_short_circuits", "breaker_short_circuits"),
+        ):
+            if counter in resilience_after:
+                statistics[key] = float(
+                    max(0, resilience_after[counter] - resilience_before.get(counter, 0))
+                )
         if semantic_blocker is not None:
             statistics["ann_index_loads"] = float(
                 semantic_blocker.index_loads - ann_before[0]
@@ -397,6 +444,23 @@ class ValueMatcher:
         return ValueMatchingResult(sets=sets, column_order=column_order, statistics=statistics)
 
     # -- helpers --------------------------------------------------------------------
+    def _resilience_snapshot(self) -> Dict[str, int]:
+        """The embedder's retry/breaker counters, `{}` for a bare embedder."""
+        stats = getattr(self.embedder, "resilience_stats", None)
+        return stats() if callable(stats) else {}
+
+    def _degraded_fallback(self) -> BlockedValueMatcher:
+        """The matcher serving ``match_degraded`` (never calls the embedder)."""
+        if self._blocked_matcher is not None:
+            return self._blocked_matcher
+        if self._degraded_matcher is None:
+            self._degraded_matcher = BlockedValueMatcher(
+                self.embedder,
+                threshold=self.threshold,
+                blocker=ValueBlocker(frequent_key_cap=self.blocking_key_cap),
+            )
+        return self._degraded_matcher
+
     def _matcher_for(self, left_count: int, right_count: int):
         """Route one column pair to the exhaustive or the blocked matcher."""
         if self._blocked_matcher is None:

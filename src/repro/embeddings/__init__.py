@@ -31,8 +31,18 @@ from repro.embeddings.registry import (
     get_embedder,
     register_embedder,
 )
+from repro.embeddings.resilient import (
+    DEGRADED_MODES,
+    DelegatingEmbedder,
+    EmbedderUnavailable,
+    ResilientEmbedder,
+)
 
 __all__ = [
+    "DEGRADED_MODES",
+    "DelegatingEmbedder",
+    "EmbedderUnavailable",
+    "ResilientEmbedder",
     "ValueEmbedder",
     "EmbeddingCache",
     "ExactEmbedder",

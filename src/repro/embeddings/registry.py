@@ -18,6 +18,30 @@ from repro.embeddings.llm import Llama3Embedder, MistralEmbedder
 from repro.embeddings.transformer import BertEmbedder, RobertaEmbedder
 from repro.registry import Registry
 
+def _resilient_embedder(inner: str = "mistral", **kwargs) -> ValueEmbedder:
+    """Factory for ``"resilient"``: an explicitly-wrapped inner embedder.
+
+    The engine wraps its resolved embedder automatically, so this name is
+    only needed to build a standalone wrapper (benchmarks, tests) or to
+    wrap a non-default inner model by name.
+    """
+    from repro.embeddings.resilient import ResilientEmbedder
+
+    return ResilientEmbedder(EMBEDDERS.create(inner), **kwargs)
+
+
+def _chaos_embedder(**kwargs) -> ValueEmbedder:
+    """Factory for ``"chaos"``: a fault-injecting embedder scripted via env.
+
+    Used by the service smoke test and chaos CI job to boot ``repro serve``
+    with an embedder that fails on an ``REPRO_CHAOS_*`` schedule; see
+    :func:`repro.testing.faults.chaos_embedder_from_env`.
+    """
+    from repro.testing.faults import chaos_embedder_from_env
+
+    return chaos_embedder_from_env(**kwargs)
+
+
 #: All embedding models, keyed by registry name.
 EMBEDDERS: Registry[Callable[..., ValueEmbedder]] = Registry(
     "embedding model",
@@ -28,6 +52,8 @@ EMBEDDERS: Registry[Callable[..., ValueEmbedder]] = Registry(
         "roberta": RobertaEmbedder,
         "llama3": Llama3Embedder,
         "mistral": MistralEmbedder,
+        "resilient": _resilient_embedder,
+        "chaos": _chaos_embedder,
     },
 )
 

@@ -274,6 +274,10 @@ class BlockingStatistics:
     #: semantic channel's probe phase — the probe-cost counter (compare
     #: against ``full_matrix_pairs`` to see what the index saved).
     ann_probe_candidates: int = 0
+    #: True when this column pair was matched in degraded mode (embedder
+    #: unavailable: exact + surface-blocking equality only, no embeddings,
+    #: no ANN) — the recall of these matches is below the healthy path.
+    degraded: bool = False
 
     @property
     def full_matrix_pairs(self) -> int:
@@ -859,6 +863,58 @@ class BlockedValueMatcher:
             left_values, right_values
         )
         matches.extend(self.match(left_remaining, right_remaining))
+        matches.sort(key=lambda match: (match.distance, str(match.left), str(match.right)))
+        return matches
+
+    def match_degraded(
+        self, left_values: Sequence[object], right_values: Sequence[object]
+    ) -> List[ValueMatch]:
+        """Embedding-free fallback: exact matches + normalised surface equality.
+
+        The degraded path of ``degraded_mode="surface"``, used while the
+        embedder's circuit breaker is open.  It never calls the embedder (and
+        never the ANN channel): identical values match via
+        :func:`split_exact_matches`, then the surviving values are matched
+        greedily one-to-one wherever a blocked candidate pair's *normalised*
+        texts are equal (``"Berlin "`` ↔ ``"berlin"`` still matches;
+        ``"Berlinn"`` ↔ ``"Berlin"`` does not — recall strictly below the
+        embedding path, precision preserved).  Candidate pairs stream in the
+        blocker's deterministic order, so the result is reproducible.
+        ``last_statistics`` is marked ``degraded=True``.
+        """
+        matches, left_remaining, right_remaining = split_exact_matches(
+            left_values, right_values
+        )
+        normalised_left = [normalize_value(value) for value in left_remaining]
+        normalised_right = [normalize_value(value) for value in right_remaining]
+        used_left: Set[int] = set()
+        used_right: Set[int] = set()
+        candidate_count = 0
+        if left_remaining and right_remaining:
+            for left_index, right_index in self.blocker.iter_candidate_pairs(
+                left_remaining, right_remaining
+            ):
+                candidate_count += 1
+                if left_index in used_left or right_index in used_right:
+                    continue
+                text = normalised_left[left_index]
+                if text and text == normalised_right[right_index]:
+                    used_left.add(left_index)
+                    used_right.add(right_index)
+                    matches.append(
+                        ValueMatch(
+                            left=left_remaining[left_index],
+                            right=right_remaining[right_index],
+                            distance=0.0,
+                        )
+                    )
+        self.last_statistics = BlockingStatistics(
+            left_values=len(left_values),
+            right_values=len(right_values),
+            candidate_pairs=candidate_count,
+            skipped_keys=self.blocker.last_skipped_keys if left_remaining else 0,
+            degraded=True,
+        )
         matches.sort(key=lambda match: (match.distance, str(match.left), str(match.right)))
         return matches
 

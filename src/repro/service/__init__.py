@@ -16,6 +16,7 @@ from repro.service.types import (
     TRACE_COUNTER_SOURCES,
     DeadlineExceeded,
     DeadlineExceededError,
+    EmbedderUnavailableResponse,
     IntegrationResponse,
     RequestTrace,
     ServiceFailure,
@@ -34,6 +35,7 @@ __all__ = [
     "ServiceOverloaded",
     "DeadlineExceeded",
     "DeadlineExceededError",
+    "EmbedderUnavailableResponse",
     "ServiceFailure",
     "ServiceStats",
     "StageTracker",

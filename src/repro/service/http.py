@@ -9,11 +9,17 @@ needs:
     "deadline_ms": <optional>, "overrides": {<optional REQUEST_OVERRIDES>}}``.
     Replies with the integrated table, the request trace and a ``status``;
     the HTTP code mirrors the service outcome (200 ok, 503 overloaded,
-    504 deadline exceeded, 400 bad request / pipeline error).
+    504 deadline exceeded, 503 + ``Retry-After`` when the embedder breaker
+    is open under ``degraded_mode="fail"``, 400 bad request / pipeline
+    error).
 ``GET /stats``
-    The :meth:`IntegrationService.stats` snapshot as JSON.
+    The :meth:`IntegrationService.stats` snapshot as JSON (including the
+    embedder breaker state).
 ``GET /healthz``
-    Liveness: ``{"status": "ok", "requests_served": N}``.
+    Three-state health driven by the embedder circuit breaker:
+    ``"healthy"`` (breaker closed, 200), ``"degraded"`` (breaker open but
+    ``degraded_mode="surface"`` keeps answers flowing, 200), or
+    ``"unhealthy"`` (breaker open with no degraded path, 503).
 
 Null cells (plain or labelled) serialise as JSON ``null`` on the way out and
 JSON ``null`` deserialises to :data:`~repro.table.nulls.NULL` on the way in,
@@ -28,11 +34,13 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.service.service import IntegrationService
 from repro.service.types import (
     DeadlineExceeded,
+    EmbedderUnavailableResponse,
     IntegrationResponse,
     ServiceOverloaded,
     ServiceResponse,
@@ -45,6 +53,7 @@ STATUS_CODES = {
     "ok": (200, "OK"),
     "overloaded": (503, "Service Unavailable"),
     "deadline_exceeded": (504, "Gateway Timeout"),
+    "unavailable": (503, "Service Unavailable"),
     "error": (400, "Bad Request"),
 }
 
@@ -106,6 +115,9 @@ def response_to_json(response: ServiceResponse) -> Dict[str, Any]:
     elif isinstance(response, DeadlineExceeded):
         body["stage"] = response.stage
         body["deadline_ms"] = response.deadline_ms
+    elif isinstance(response, EmbedderUnavailableResponse):
+        body["error"] = response.error
+        body["retry_after_ms"] = response.retry_after_ms
     else:
         error = getattr(response, "error", None)
         if error:
@@ -141,28 +153,63 @@ async def _read_request(
     return method, path, body
 
 
-def _encode_response(code: int, reason: str, payload: Dict[str, Any]) -> bytes:
+def _encode_response(
+    code: int,
+    reason: str,
+    payload: Dict[str, Any],
+    headers: Optional[Dict[str, str]] = None,
+) -> bytes:
     body = json.dumps(payload, default=str).encode("utf-8")
+    extra = "".join(f"{name}: {value}\r\n" for name, value in (headers or {}).items())
     head = (
         f"HTTP/1.1 {code} {reason}\r\n"
         f"Content-Type: application/json\r\n"
         f"Content-Length: {len(body)}\r\n"
+        f"{extra}"
         f"Connection: close\r\n\r\n"
     )
     return head.encode("latin-1") + body
 
 
+def _health_payload(service: IntegrationService) -> Tuple[int, str, Dict[str, Any]]:
+    """Three-state health: breaker closed / open-with-fallback / open-dark."""
+    breaker = service.engine.resilience_state()
+    breaker_state = str(breaker.get("state", "closed"))
+    payload: Dict[str, Any] = {
+        "requests_served": service.engine.requests_served,
+        "breaker": breaker,
+    }
+    if breaker_state == "closed":
+        payload["status"] = "healthy"
+        return 200, "OK", payload
+    # half_open counts like open: the embedder is not known-good yet, but a
+    # surface fallback still answers requests, so the pod should stay in
+    # rotation ("degraded") rather than be drained ("unhealthy").
+    if service.engine.config.degraded_mode == "surface":
+        payload["status"] = "degraded"
+        return 200, "OK", payload
+    payload["status"] = "unhealthy"
+    return 503, "Service Unavailable", payload
+
+
+def _retry_after_header(retry_after_ms: float) -> Dict[str, str]:
+    """``Retry-After`` (whole seconds, >= 1) from a breaker window in ms."""
+    return {"Retry-After": str(max(1, math.ceil(retry_after_ms / 1000.0)))}
+
+
 async def _dispatch(
     service: IntegrationService, method: str, path: str, body: bytes
-) -> Tuple[int, str, Dict[str, Any]]:
+) -> Tuple[int, str, Dict[str, Any], Dict[str, str]]:
     path = path.split("?", 1)[0]
     if method == "GET" and path == "/healthz":
-        return 200, "OK", {
-            "status": "ok",
-            "requests_served": service.engine.requests_served,
-        }
+        code, reason, payload = _health_payload(service)
+        headers: Dict[str, str] = {}
+        if code == 503:
+            retry_after = service.engine.resilience_state().get("retry_after_ms", 0.0)
+            headers = _retry_after_header(float(retry_after or 0.0))
+        return code, reason, payload, headers
     if method == "GET" and path == "/stats":
-        return 200, "OK", service.stats().to_dict()
+        return 200, "OK", service.stats().to_dict(), {}
     if method == "POST" and path == "/integrate":
         try:
             payload = json.loads(body.decode("utf-8"))
@@ -183,8 +230,11 @@ async def _dispatch(
             tables, deadline_ms=deadline_ms, **overrides
         )
         code, reason = STATUS_CODES.get(response.status, (500, "Internal Server Error"))
-        return code, reason, response_to_json(response)
-    return 404, "Not Found", {"status": "error", "error": f"no route {method} {path}"}
+        headers = {}
+        if isinstance(response, EmbedderUnavailableResponse):
+            headers = _retry_after_header(response.retry_after_ms)
+        return code, reason, response_to_json(response), headers
+    return 404, "Not Found", {"status": "error", "error": f"no route {method} {path}"}, {}
 
 
 async def handle_connection(
@@ -198,13 +248,13 @@ async def handle_connection(
             request = await _read_request(reader)
             if request is None:
                 return
-            code, reason, payload = await _dispatch(service, *request)
+            code, reason, payload, headers = await _dispatch(service, *request)
         except (BadRequest, asyncio.IncompleteReadError) as exc:
-            code, reason, payload = 400, "Bad Request", {
+            code, reason, payload, headers = 400, "Bad Request", {
                 "status": "error",
                 "error": str(exc),
-            }
-        writer.write(_encode_response(code, reason, payload))
+            }, {}
+        writer.write(_encode_response(code, reason, payload, headers))
         await writer.drain()
     except (ConnectionResetError, BrokenPipeError):  # pragma: no cover - client gone
         pass

@@ -37,9 +37,11 @@ from typing import Any, Deque, Dict, Optional, Sequence, Union
 
 from repro.core.config import FuzzyFDConfig
 from repro.core.engine import FuzzyIntegrationResult, IntegrationEngine
+from repro.embeddings.resilient import EmbedderUnavailable
 from repro.service.types import (
     DeadlineExceeded,
     DeadlineExceededError,
+    EmbedderUnavailableResponse,
     IntegrationResponse,
     RequestTrace,
     ServiceFailure,
@@ -113,6 +115,8 @@ class IntegrationService:
         self._rejected = 0
         self._deadline_exceeded = 0
         self._failed = 0
+        self._unavailable = 0
+        self._degraded_served = 0
         self._in_flight = 0
         self._executing = 0
         self._latencies: Deque[float] = deque(maxlen=LATENCY_WINDOW)
@@ -210,6 +214,19 @@ class IntegrationService:
                     deadline_ms=exc.deadline_ms,
                     trace=trace,
                 )
+            except EmbedderUnavailable as exc:
+                # Under degraded_mode="surface" the matcher absorbs the open
+                # breaker, so reaching here means the policy is "off"/"fail":
+                # an operational outcome, answered as a response like every
+                # other one.
+                total = time.perf_counter() - submitted_at
+                self._finish("unavailable", total)
+                return EmbedderUnavailableResponse(
+                    request_id=request_id,
+                    error=str(exc),
+                    retry_after_ms=exc.retry_after_ms,
+                    trace=None,
+                )
             except Exception as exc:  # noqa: BLE001 — relayed, service stays up
                 total = time.perf_counter() - submitted_at
                 self._finish("failed", total)
@@ -220,21 +237,25 @@ class IntegrationService:
                 )
             total = time.perf_counter() - submitted_at
             trace = build_trace(request_id, result, tracker, total)
-            self._finish("served", total)
+            self._finish("served", total, degraded=trace.degraded)
             return IntegrationResponse(request_id=request_id, result=result, trace=trace)
         finally:
             with self._lock:
                 self._executing -= 1
             self._slots.release()
 
-    def _finish(self, outcome: str, latency_seconds: float) -> None:
+    def _finish(self, outcome: str, latency_seconds: float, *, degraded: bool = False) -> None:
         """Terminal accounting: counter up + gauge down under one lock."""
         with self._lock:
             self._in_flight -= 1
             if outcome == "served":
                 self._served += 1
+                if degraded:
+                    self._degraded_served += 1
             elif outcome == "deadline_exceeded":
                 self._deadline_exceeded += 1
+            elif outcome == "unavailable":
+                self._unavailable += 1
             else:
                 self._failed += 1
             self._latencies.append(latency_seconds)
@@ -242,6 +263,7 @@ class IntegrationService:
     # -- observability & lifecycle -------------------------------------------------
     def stats(self) -> ServiceStats:
         """Consistent aggregate snapshot (see :class:`ServiceStats`)."""
+        resilience = self.engine.resilience_state()
         with self._lock:
             samples = sorted(self._latencies)
             return ServiceStats(
@@ -250,11 +272,16 @@ class IntegrationService:
                 rejected=self._rejected,
                 deadline_exceeded=self._deadline_exceeded,
                 failed=self._failed,
+                unavailable=self._unavailable,
                 in_flight=self._in_flight,
                 executing=self._executing,
                 queued=self._in_flight - self._executing,
                 latency_p50_seconds=quantile(samples, 0.50),
                 latency_p99_seconds=quantile(samples, 0.99),
+                degraded_served=self._degraded_served,
+                breaker_state=str(resilience.get("state", "closed")),
+                embedder_retries=int(resilience.get("retries", 0)),
+                breaker_opens=int(resilience.get("breaker_opens", 0)),
             )
 
     def close(self) -> None:

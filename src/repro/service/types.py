@@ -36,6 +36,9 @@ TRACE_COUNTER_SOURCES: Dict[str, str] = {
     "cache_fills": "cache_fills",
     "cache_store_hits": "cache_store_hits",
     "cache_store_misses": "cache_store_misses",
+    "embedder_retries": "embedder_retries",
+    "breaker_opens": "breaker_opens",
+    "breaker_short_circuits": "breaker_short_circuits",
 }
 
 
@@ -67,6 +70,15 @@ class RequestTrace:
     cache_store_hits: float = 0.0
     cache_store_misses: float = 0.0
     store_published_rows: float = 0.0
+    #: True when any column group was matched without embeddings because the
+    #: embedder breaker was open and ``degraded_mode="surface"`` applied —
+    #: the answer is valid but its recall is below the healthy path.
+    degraded: bool = False
+    embedder_retries: float = 0.0
+    breaker_opens: float = 0.0
+    breaker_short_circuits: float = 0.0
+    #: Corrupt store artifacts this request tripped over (now quarantined).
+    store_corrupt_segments: float = 0.0
 
     @property
     def raw_embed_calls(self) -> float:
@@ -92,6 +104,11 @@ class RequestTrace:
             "cache_store_misses": self.cache_store_misses,
             "raw_embed_calls": self.raw_embed_calls,
             "store_published_rows": self.store_published_rows,
+            "degraded": self.degraded,
+            "embedder_retries": self.embedder_retries,
+            "breaker_opens": self.breaker_opens,
+            "breaker_short_circuits": self.breaker_short_circuits,
+            "store_corrupt_segments": self.store_corrupt_segments,
         }
 
 
@@ -192,6 +209,19 @@ class ServiceFailure(ServiceResponse):
 
 
 @dataclass
+class EmbedderUnavailableResponse(ServiceResponse):
+    """The embedder breaker is open and ``degraded_mode="fail"`` applies.
+
+    The HTTP adapter maps this to 503 with a ``Retry-After`` header derived
+    from ``retry_after_ms`` — the remaining open window of the breaker.
+    """
+
+    error: str = ""
+    retry_after_ms: float = 0.0
+    status: str = "unavailable"
+
+
+@dataclass
 class ServiceStats:
     """Aggregate snapshot returned by :meth:`IntegrationService.stats`.
 
@@ -207,11 +237,21 @@ class ServiceStats:
     rejected: int = 0
     deadline_exceeded: int = 0
     failed: int = 0
+    unavailable: int = 0
     in_flight: int = 0
     executing: int = 0
     queued: int = 0
     latency_p50_seconds: float = 0.0
     latency_p99_seconds: float = 0.0
+    #: Successful responses whose trace was marked degraded (subset of
+    #: ``served``).
+    degraded_served: int = 0
+    #: Current circuit-breaker state of the engine's embedder.
+    breaker_state: str = "closed"
+    #: Cumulative embedder retry / breaker-open counts over the engine's
+    #: lifetime (from the resilient wrapper, not per-request deltas).
+    embedder_retries: int = 0
+    breaker_opens: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -220,11 +260,16 @@ class ServiceStats:
             "rejected": self.rejected,
             "deadline_exceeded": self.deadline_exceeded,
             "failed": self.failed,
+            "unavailable": self.unavailable,
             "in_flight": self.in_flight,
             "executing": self.executing,
             "queued": self.queued,
             "latency_p50_seconds": self.latency_p50_seconds,
             "latency_p99_seconds": self.latency_p99_seconds,
+            "degraded_served": self.degraded_served,
+            "breaker_state": self.breaker_state,
+            "embedder_retries": self.embedder_retries,
+            "breaker_opens": self.breaker_opens,
         }
 
 
@@ -248,6 +293,11 @@ def build_trace(
         total_seconds=total_seconds,
         deadline_ms=tracker.deadline_ms,
         store_published_rows=result.timings.get("store_published_rows", 0.0),
+        degraded=any(
+            vm.statistics.get("degraded", 0.0) > 0.0
+            for vm in result.value_matching.values()
+        ),
+        store_corrupt_segments=result.timings.get("store_corrupt_segments", 0.0),
         **counters,
     )
 

@@ -75,6 +75,7 @@ class _Counters:
             "index_loads": 0,
             "index_saves": 0,
             "corrupt_entries": 0,
+            "corrupt_segments": 0,
             "rejected_entries": 0,
             "duplicate_publishes": 0,
         }
@@ -175,7 +176,7 @@ class ArtifactStore:
             keys_raw = json.loads((directory / "keys.json").read_text(encoding="utf-8"))
             matrix = np.load(directory / "matrix.npy", mmap_mode="r")
         except Exception:
-            self._counters.bump("corrupt_entries")
+            self._corrupt(directory)
             return None
         if (
             not isinstance(keys_raw, list)
@@ -183,7 +184,7 @@ class ArtifactStore:
             or matrix.shape[0] != len(keys_raw)
             or matrix.shape != (meta.get("rows"), meta.get("dimension"))
         ):
-            self._counters.bump("corrupt_entries")
+            self._corrupt(directory)
             return None
         self._counters.bump("segment_loads")
         return [str(key) for key in keys_raw], matrix
@@ -255,7 +256,7 @@ class ArtifactStore:
             planes = np.load(directory / "planes.npy", mmap_mode="r")
             codes = np.load(directory / "codes.npy", mmap_mode="r")
         except Exception:
-            self._counters.bump("corrupt_entries")
+            self._corrupt(directory)
             return None
         if (
             planes.ndim != 3
@@ -263,7 +264,7 @@ class ArtifactStore:
             or planes.shape[0] != codes.shape[0]
             or codes.shape[1] != meta.get("values")
         ):
-            self._counters.bump("corrupt_entries")
+            self._corrupt(directory)
             return None
         self._counters.bump("index_loads")
         return planes, codes
@@ -328,7 +329,7 @@ class ArtifactStore:
             centroids = np.load(directory / "centroids.npy", mmap_mode="r")
             assignments = np.load(directory / "assignments.npy", mmap_mode="r")
         except Exception:
-            self._counters.bump("corrupt_entries")
+            self._corrupt(directory)
             return None
         if (
             centroids.ndim != 2
@@ -337,7 +338,7 @@ class ArtifactStore:
             or assignments.shape[0] != meta.get("values")
             or (len(assignments) and int(assignments.max()) >= centroids.shape[0])
         ):
-            self._counters.bump("corrupt_entries")
+            self._corrupt(directory)
             return None
         self._counters.bump("index_loads")
         return centroids, assignments
@@ -379,6 +380,41 @@ class ArtifactStore:
         return published
 
     # -- internals -------------------------------------------------------------------
+    def _corrupt(self, directory: Path) -> None:
+        """Account one corrupt artifact and quarantine its directory."""
+        self._counters.bump("corrupt_entries")
+        self._quarantine(directory)
+
+    def _quarantine(self, directory: Path) -> None:
+        """Move a corrupt artifact directory aside so it is never re-read.
+
+        Without this, a corrupt entry degrades to a miss on *every* request —
+        the validation cost (and the rebuild it forces) repeats forever, and
+        a healing republish is impossible because the target path is
+        occupied.  The directory is renamed into ``<root>/quarantine/`` (path
+        components joined with ``-``, numeric suffix on collision) where an
+        operator can inspect it; the vacated path lets the next publication
+        replace the artifact with a good copy.  ``corrupt_segments`` counts
+        the corruption regardless — a read-only view observes it but leaves
+        the files in place (the writer view will quarantine on its next
+        read).  Rename races lose silently: the artifact is gone either way.
+        """
+        self._counters.bump("corrupt_segments")
+        if not self.can_write or not directory.is_dir():
+            return
+        try:
+            quarantine_root = self.root / "quarantine"
+            quarantine_root.mkdir(parents=True, exist_ok=True)
+            name = "-".join(directory.relative_to(self.root).parts)
+            target = quarantine_root / name
+            suffix = 0
+            while target.exists():
+                suffix += 1
+                target = quarantine_root / f"{name}.{suffix}"
+            directory.rename(target)
+        except OSError:
+            pass
+
     def _read_meta(self, directory: Path) -> Optional[Dict[str, object]]:
         """Parse ``meta.json``, or ``None`` (counting corruption) on failure."""
         path = directory / "meta.json"
@@ -386,15 +422,15 @@ class ArtifactStore:
             # Absence of the whole artifact is an ordinary miss; a directory
             # that exists without its meta is a partial write worth counting.
             if directory.is_dir():
-                self._counters.bump("corrupt_entries")
+                self._corrupt(directory)
             return None
         try:
             meta = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, ValueError):
-            self._counters.bump("corrupt_entries")
+            self._corrupt(directory)
             return None
         if not isinstance(meta, dict):
-            self._counters.bump("corrupt_entries")
+            self._corrupt(directory)
             return None
         return meta
 

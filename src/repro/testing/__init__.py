@@ -1,0 +1,21 @@
+"""Deterministic fault injection for chaos testing (see :mod:`.faults`)."""
+
+from repro.testing.faults import (
+    FaultInjector,
+    FaultyEmbedder,
+    FaultyStore,
+    TransientFault,
+    chaos_embedder_from_env,
+    corrupt_array_file,
+    crash_once,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultyEmbedder",
+    "FaultyStore",
+    "TransientFault",
+    "chaos_embedder_from_env",
+    "corrupt_array_file",
+    "crash_once",
+]

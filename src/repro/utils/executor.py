@@ -241,6 +241,93 @@ def _shutdown_process_pools() -> None:  # pragma: no cover - interpreter exit
         _PROCESS_POOLS.clear()
 
 
+def _discard_process_pool(workers: int, pool: object) -> None:
+    """Drop a broken shared pool so the next request builds a fresh one.
+
+    Identity-checked under the lock: a concurrent caller may already have
+    replaced the entry, and discarding *its* healthy pool would cascade the
+    failure.
+    """
+    with _PROCESS_POOL_LOCK:
+        if _PROCESS_POOLS.get(workers) is pool:
+            del _PROCESS_POOLS[workers]
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+#: Worker-death recovery counters (cumulative, process-wide).
+_RECOVERY_LOCK = threading.Lock()
+_RECOVERY_COUNTERS: Dict[str, int] = {
+    "pool_rebuilds": 0,
+    "serial_fallbacks": 0,
+    "batches_retried": 0,
+}
+
+
+def executor_statistics() -> Dict[str, int]:
+    """Cumulative worker-death recovery counters of the process backend.
+
+    ``pool_rebuilds`` counts broken pools replaced, ``batches_retried`` the
+    batches re-dispatched after a break, ``serial_fallbacks`` the times a
+    rebuilt pool broke again and the remaining batches ran in-process.
+    """
+    with _RECOVERY_LOCK:
+        return dict(_RECOVERY_COUNTERS)
+
+
+def _run_process_batches(
+    task: Callable[[ItemT], ResultT],
+    batches: Sequence[Sequence[ItemT]],
+    config: ExecutorConfig,
+) -> List[List[ResultT]]:
+    """Run the batches on the shared process pool, surviving worker death.
+
+    A worker that dies mid-batch (``os._exit``, OOM-kill, segfault) breaks
+    the whole ``ProcessPoolExecutor``: every unfinished future raises
+    ``BrokenProcessPool``.  The completed batches' results are kept; the
+    broken pool is discarded, a fresh one is built, and only the failed
+    batches are re-dispatched — positionally, so the merged result is still
+    ``[fn(item) for item in items]`` exactly.  If the rebuilt pool breaks
+    too, the remaining batches run serially in this process (progress over
+    parallelism).  Exceptions *raised by the task itself* propagate
+    unchanged — recovery only engages on pool breakage.
+    """
+    from concurrent.futures.process import BrokenProcessPool
+
+    results: List[Optional[List[ResultT]]] = [None] * len(batches)
+    pending = list(range(len(batches)))
+    for attempt in range(2):
+        pool = _process_pool(config.max_workers)
+        futures = {}
+        failed: List[int] = []
+        for index in pending:
+            try:
+                futures[index] = pool.submit(_apply_batch, task, batches[index])
+            except (BrokenProcessPool, RuntimeError):
+                # The pool broke (or was shut down) between submissions.
+                failed.append(index)
+        for index, future in futures.items():
+            try:
+                results[index] = future.result()
+            except BrokenProcessPool:
+                failed.append(index)
+        if not failed:
+            return results  # type: ignore[return-value]
+        failed.sort()
+        _discard_process_pool(config.max_workers, pool)
+        with _RECOVERY_LOCK:
+            _RECOVERY_COUNTERS["batches_retried"] += len(failed)
+            if attempt == 0:
+                _RECOVERY_COUNTERS["pool_rebuilds"] += 1
+        pending = failed
+    # Two broken pools in a row: stop gambling on worker processes and finish
+    # the remaining batches in this one.
+    with _RECOVERY_LOCK:
+        _RECOVERY_COUNTERS["serial_fallbacks"] += 1
+    for index in pending:
+        results[index] = _apply_batch(task, batches[index])
+    return results  # type: ignore[return-value]
+
+
 def run_partitioned(
     items: Sequence[ItemT],
     fn: Callable[..., ResultT],
@@ -287,17 +374,14 @@ def run_partitioned(
         with ThreadPoolExecutor(max_workers=workers) as pool:
             batch_results = list(pool.map(_apply_batch, [task] * len(batches), batches))
     else:  # "process" — shared long-lived pool (submitting is thread-safe)
-        pool = _process_pool(config.max_workers)
         if shared is None:
-            batch_results = list(pool.map(_apply_batch, [fn] * len(batches), batches))
+            batch_results = _run_process_batches(fn, batches, config)
         else:
             from repro.storage.shared import SharedArrayBinding, SharedArrays
 
             with SharedArrays(shared) as region:
                 task = SharedArrayBinding(fn, shared, region.handles)
-                batch_results = list(
-                    pool.map(_apply_batch, [task] * len(batches), batches)
-                )
+                batch_results = _run_process_batches(task, batches, config)
 
     flattened: List[ResultT] = []
     for batch_result in batch_results:

@@ -1,0 +1,207 @@
+"""Chaos suite: the serving layer under a failing embedder.
+
+An open breaker must never turn into an unhandled 500: under
+``degraded_mode="surface"`` requests keep succeeding (marked degraded in
+their trace, ``/healthz`` reports ``degraded``), under ``"fail"`` they get
+a typed 503 with a ``Retry-After`` derived from the breaker's remaining
+open window, and once the backend heals responses are byte-identical to a
+never-failed service.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core import FuzzyFDConfig
+from repro.embeddings import MistralEmbedder
+from repro.embeddings.resilient import ResilientEmbedder
+from repro.service import (
+    EmbedderUnavailableResponse,
+    IntegrationResponse,
+    IntegrationService,
+)
+from repro.service.http import start_http_server
+from repro.table import Table
+from repro.testing import FaultInjector, FaultyEmbedder
+
+TABLES = [
+    Table("T1", ["City"], [("Berlinn",), ("Toronto",), ("Barcelona",)]),
+    Table("T2", ["City"], [("Berlin",), ("Toronto",), ("barcelona",)]),
+]
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance_ms(self, ms: float) -> None:
+        self.now += ms / 1000.0
+
+
+def _service(degraded_mode, *, clock=None, fail=True, breaker_reset_ms=60_000.0):
+    injector = FaultInjector()
+    if fail:
+        injector.script("embed_many", fail_all=True)
+        injector.script("embed", fail_all=True)
+    kwargs = dict(
+        retry_max_attempts=1,
+        retry_backoff_ms=0.01,
+        breaker_failure_threshold=1,
+        breaker_reset_ms=breaker_reset_ms,
+        sleep=lambda seconds: None,
+    )
+    if clock is not None:
+        kwargs["clock"] = clock
+    embedder = ResilientEmbedder(FaultyEmbedder(MistralEmbedder(), injector), **kwargs)
+    config = FuzzyFDConfig(embedder=embedder, degraded_mode=degraded_mode)
+    return IntegrationService(config), injector
+
+
+async def _http_request(port, method, path, body=None):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    payload = json.dumps(body).encode() if body is not None else b""
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: localhost\r\nContent-Length: {len(payload)}\r\n"
+        f"Connection: close\r\n\r\n"
+    )
+    writer.write(head.encode() + payload)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    header_blob, _, body_blob = raw.partition(b"\r\n\r\n")
+    header_lines = header_blob.decode().split("\r\n")
+    status = int(header_lines[0].split(" ", 2)[1])
+    headers = {}
+    for line in header_lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers, json.loads(body_blob.decode())
+
+
+INTEGRATE_BODY = {
+    "tables": [
+        {"name": "T1", "columns": ["City"], "rows": [["Berlinn"], ["Toronto"]]},
+        {"name": "T2", "columns": ["City"], "rows": [["Berlin"], ["Toronto"]]},
+    ]
+}
+
+
+class TestSurfaceMode:
+    def test_open_breaker_serves_degraded_not_errors(self):
+        async def main():
+            service, _ = _service("surface")
+            async with service:
+                response = await service.integrate(TABLES)
+                stats = service.stats()
+                return response, stats
+
+        response, stats = asyncio.run(main())
+        assert isinstance(response, IntegrationResponse)
+        assert response.trace.degraded is True
+        assert response.trace.breaker_opens >= 1.0
+        assert stats.served == 1
+        assert stats.degraded_served == 1
+        assert stats.breaker_state == "open"
+
+    def test_healthz_reports_degraded_while_integrate_stays_200(self):
+        async def main():
+            service, _ = _service("surface")
+            async with service:
+                server = await start_http_server(service, port=0)
+                port = server.sockets[0].getsockname()[1]
+                try:
+                    integrate = await _http_request(port, "POST", "/integrate", INTEGRATE_BODY)
+                    health = await _http_request(port, "GET", "/healthz")
+                    stats = await _http_request(port, "GET", "/stats")
+                finally:
+                    server.close()
+                    await server.wait_closed()
+                return integrate, health, stats
+
+        integrate, health, stats = asyncio.run(main())
+        status, _, body = integrate
+        assert status == 200
+        assert body["trace"]["degraded"] is True
+        status, _, body = health
+        assert status == 200
+        assert body["status"] == "degraded"
+        assert body["breaker"]["state"] in ("open", "half_open")
+        status, _, body = stats
+        assert body["breaker_state"] == "open"
+        assert body["degraded_served"] == 1
+
+    def test_recovery_is_byte_identical_to_clean_service(self):
+        async def main():
+            clean_service, _ = _service("surface", fail=False)
+            async with clean_service:
+                clean = await clean_service.integrate(TABLES)
+
+            clock = FakeClock()
+            service, injector = _service("surface", clock=clock, breaker_reset_ms=1000.0)
+            async with service:
+                degraded = await service.integrate(TABLES)
+                injector.heal()
+                clock.advance_ms(1001.0)
+                recovered = await service.integrate(TABLES)
+                breaker_state = service.stats().breaker_state
+            return clean, degraded, recovered, breaker_state
+
+        clean, degraded, recovered, breaker_state = asyncio.run(main())
+        assert degraded.trace.degraded is True
+        assert recovered.trace.degraded is False
+        assert breaker_state == "closed"
+        assert recovered.result.table.rows == clean.result.table.rows
+
+
+class TestFailMode:
+    def test_unavailable_response_with_retry_window(self):
+        async def main():
+            service, _ = _service("fail")
+            async with service:
+                first = await service.integrate(TABLES)
+                second = await service.integrate(TABLES)
+                stats = service.stats()
+            return first, second, stats
+
+        first, second, stats = asyncio.run(main())
+        # The very first request trips the breaker mid-flight and surfaces
+        # the typed outcome; later requests are short-circuited the same way.
+        for response in (first, second):
+            assert isinstance(response, EmbedderUnavailableResponse)
+            assert response.status == "unavailable"
+            assert response.retry_after_ms > 0.0
+        assert stats.unavailable == 2
+        assert stats.served == 0
+
+    def test_http_503_with_retry_after_header(self):
+        async def main():
+            service, _ = _service("fail", breaker_reset_ms=45_000.0)
+            async with service:
+                server = await start_http_server(service, port=0)
+                port = server.sockets[0].getsockname()[1]
+                try:
+                    integrate = await _http_request(port, "POST", "/integrate", INTEGRATE_BODY)
+                    health = await _http_request(port, "GET", "/healthz")
+                finally:
+                    server.close()
+                    await server.wait_closed()
+            return integrate, health
+
+        integrate, health = asyncio.run(main())
+        status, headers, body = integrate
+        assert status == 503
+        assert body["status"] == "unavailable"
+        assert body["retry_after_ms"] > 0.0
+        assert 1 <= int(headers["retry-after"]) <= 45
+        status, headers, body = health
+        assert status == 503
+        assert body["status"] == "unhealthy"
+        assert "retry-after" in headers

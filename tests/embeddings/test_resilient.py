@@ -1,0 +1,261 @@
+"""Unit tests for the retry/circuit-breaker embedder wrapper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FuzzyFDConfig, IntegrationEngine
+from repro.embeddings import MistralEmbedder
+from repro.embeddings.resilient import (
+    DelegatingEmbedder,
+    EmbedderUnavailable,
+    ResilientEmbedder,
+    validate_resilience_knobs,
+)
+from repro.testing import FaultInjector, FaultyEmbedder, TransientFault
+
+VALUES = ["Berlin", "Toronto", "Barcelona"]
+
+
+class FakeClock:
+    """Monotonic clock under test control (milliseconds advance explicitly)."""
+
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance_ms(self, ms: float) -> None:
+        self.now += ms / 1000.0
+
+
+def _resilient(injector=None, *, sleeps=None, clock=None, **knobs):
+    """A ResilientEmbedder over a (possibly faulty) MistralEmbedder."""
+    inner = MistralEmbedder()
+    if injector is not None:
+        inner = FaultyEmbedder(inner, injector)
+    kwargs = dict(knobs)
+    kwargs.setdefault("retry_backoff_ms", 0.01)
+    if sleeps is not None:
+        kwargs["sleep"] = sleeps.append
+    else:
+        kwargs["sleep"] = lambda seconds: None
+    if clock is not None:
+        kwargs["clock"] = clock
+    return ResilientEmbedder(inner, **kwargs)
+
+
+class TestDelegation:
+    def test_mirrors_identity_and_cache(self):
+        inner = MistralEmbedder()
+        wrapped = ResilientEmbedder(inner)
+        assert wrapped.name == inner.name
+        assert wrapped.dimension == inner.dimension
+        assert wrapped.cache is inner.cache
+
+    def test_unknown_attributes_reach_the_inner_embedder(self):
+        inner = MistralEmbedder()
+        inner.custom_marker = 42
+        wrapped = ResilientEmbedder(inner)
+        assert wrapped.custom_marker == 42
+
+    def test_delegating_embedder_is_transparent_for_embedding(self):
+        inner = MistralEmbedder()
+        wrapped = DelegatingEmbedder(inner)
+        np.testing.assert_array_equal(
+            wrapped.embed_many(VALUES), MistralEmbedder().embed_many(VALUES)
+        )
+
+    def test_double_wrap_rejected(self):
+        wrapped = ResilientEmbedder(MistralEmbedder())
+        with pytest.raises(ValueError, match="another"):
+            ResilientEmbedder(wrapped)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "knobs",
+        [
+            {"retry_max_attempts": 0},
+            {"retry_backoff_ms": -1.0},
+            {"breaker_failure_threshold": 0},
+            {"breaker_reset_ms": 0.0},
+        ],
+    )
+    def test_bad_knobs_rejected_eagerly(self, knobs):
+        with pytest.raises(ValueError):
+            validate_resilience_knobs(**knobs)
+        with pytest.raises(ValueError):
+            ResilientEmbedder(MistralEmbedder(), **knobs)
+
+
+class TestRetries:
+    def test_retries_mask_transient_failures_byte_identical(self):
+        injector = FaultInjector().script("embed_many", fail_cycle=(2, 3))
+        wrapped = _resilient(injector, retry_max_attempts=3)
+        result = wrapped.embed_many(VALUES)
+        np.testing.assert_array_equal(result, MistralEmbedder().embed_many(VALUES))
+        stats = wrapped.resilience_stats()
+        assert stats["retries"] == 2
+        assert wrapped.state() == "closed"
+
+    def test_exhausted_retries_reraise_the_original_error(self):
+        injector = FaultInjector().script("embed_many", fail_all=True)
+        wrapped = _resilient(injector, retry_max_attempts=2, breaker_failure_threshold=5)
+        with pytest.raises(TransientFault):
+            wrapped.embed_many(VALUES)
+        # The breaker did not trip, so no EmbedderUnavailable — callers see
+        # exactly what the backend raised.
+        assert wrapped.state() == "closed"
+        assert wrapped.resilience_stats()["failures"] == 1
+
+    def test_backoff_sequence_is_deterministic_and_capped(self):
+        runs = []
+        for _ in range(2):
+            sleeps: list = []
+            injector = FaultInjector().script("embed_many", fail_all=True)
+            wrapped = _resilient(
+                injector,
+                sleeps=sleeps,
+                retry_max_attempts=6,
+                retry_backoff_ms=100.0,
+                breaker_failure_threshold=10,
+            )
+            with pytest.raises(TransientFault):
+                wrapped.embed_many(VALUES)
+            runs.append(sleeps)
+        assert runs[0] == runs[1]
+        assert len(runs[0]) == 5
+        # Pre-jitter schedule is 100, 200, 400, 800, 800 ms (capped at 8x);
+        # jitter scales each by [0.5, 1.0).
+        for observed, base_ms in zip(runs[0], [100, 200, 400, 800, 800]):
+            assert base_ms * 0.5 / 1000.0 <= observed < base_ms / 1000.0
+
+
+class TestBreaker:
+    def test_opens_after_threshold_and_short_circuits(self):
+        injector = FaultInjector().script("embed_many", fail_all=True)
+        clock = FakeClock()
+        wrapped = _resilient(
+            injector,
+            clock=clock,
+            retry_max_attempts=1,
+            breaker_failure_threshold=2,
+            breaker_reset_ms=1000.0,
+        )
+        with pytest.raises(TransientFault):
+            wrapped.embed_many(VALUES)
+        with pytest.raises(EmbedderUnavailable) as tripped:
+            wrapped.embed_many(VALUES)
+        assert tripped.value.retry_after_ms == pytest.approx(1000.0)
+        assert isinstance(tripped.value.__cause__, TransientFault)
+        assert wrapped.state() == "open"
+
+        calls_before = injector.statistics()["embed_many"]["calls"]
+        with pytest.raises(EmbedderUnavailable) as short:
+            wrapped.embed_many(VALUES)
+        # Short-circuited: the inner embedder was never touched.
+        assert injector.statistics()["embed_many"]["calls"] == calls_before
+        assert 0.0 < short.value.retry_after_ms <= 1000.0
+        assert wrapped.resilience_stats()["breaker_short_circuits"] == 1
+
+    def test_half_open_probe_success_closes(self):
+        injector = FaultInjector().script("embed_many", fail_all=True)
+        clock = FakeClock()
+        wrapped = _resilient(
+            injector,
+            clock=clock,
+            retry_max_attempts=1,
+            breaker_failure_threshold=1,
+            breaker_reset_ms=1000.0,
+        )
+        with pytest.raises(EmbedderUnavailable):
+            wrapped.embed_many(VALUES)
+        injector.heal()
+        clock.advance_ms(1001.0)
+        assert wrapped.state() == "half_open"
+        result = wrapped.embed_many(VALUES)
+        np.testing.assert_array_equal(result, MistralEmbedder().embed_many(VALUES))
+        stats = wrapped.resilience_stats()
+        assert wrapped.state() == "closed"
+        assert stats["half_open_probes"] == 1
+        assert stats["breaker_closes"] == 1
+
+    def test_half_open_probe_failure_reopens_full_window(self):
+        injector = FaultInjector().script("embed_many", fail_all=True)
+        clock = FakeClock()
+        wrapped = _resilient(
+            injector,
+            clock=clock,
+            retry_max_attempts=1,
+            breaker_failure_threshold=1,
+            breaker_reset_ms=1000.0,
+        )
+        with pytest.raises(EmbedderUnavailable):
+            wrapped.embed_many(VALUES)
+        clock.advance_ms(1001.0)
+        with pytest.raises(EmbedderUnavailable):
+            wrapped.embed_many(VALUES)  # the probe fails
+        assert wrapped.state() == "open"
+        assert wrapped.retry_after_ms() == pytest.approx(1000.0)
+
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = FakeClock()
+        wrapped = _resilient(
+            None,
+            clock=clock,
+            retry_max_attempts=1,
+            breaker_failure_threshold=1,
+            breaker_reset_ms=1000.0,
+        )
+        injector = FaultInjector().script("embed_many", fail_all=True)
+        wrapped.inner = FaultyEmbedder(wrapped.inner, injector)
+        with pytest.raises(EmbedderUnavailable):
+            wrapped.embed_many(VALUES)
+        clock.advance_ms(1001.0)
+        # First admission wins the probe slot; a concurrent second caller is
+        # short-circuited until the probe resolves.
+        assert wrapped._admit() is True
+        with pytest.raises(EmbedderUnavailable):
+            wrapped._admit()
+
+
+class TestOverrides:
+    def test_thread_local_override_applies_inside_context_only(self):
+        injector = FaultInjector().script("embed_many", fail_all=True)
+        sleeps: list = []
+        wrapped = _resilient(
+            injector, sleeps=sleeps, retry_max_attempts=3, breaker_failure_threshold=99
+        )
+        with wrapped.overrides(retry_max_attempts=1):
+            with pytest.raises(TransientFault):
+                wrapped.embed_many(VALUES)
+        assert sleeps == []  # single attempt, no backoff
+        with pytest.raises(TransientFault):
+            wrapped.embed_many(VALUES)
+        assert len(sleeps) == 2  # back to three attempts
+
+    def test_unknown_and_invalid_overrides_rejected(self):
+        wrapped = _resilient(None)
+        with pytest.raises(TypeError):
+            with wrapped.overrides(degraded_mode="surface"):
+                pass
+        with pytest.raises(ValueError):
+            with wrapped.overrides(retry_max_attempts=0):
+                pass
+
+
+class TestEngineIntegration:
+    def test_engine_auto_wraps_with_config_knobs(self):
+        engine = IntegrationEngine(FuzzyFDConfig(retry_max_attempts=7))
+        assert isinstance(engine.embedder, ResilientEmbedder)
+        assert engine.embedder.retry_max_attempts == 7
+        assert engine.resilience_state()["state"] == "closed"
+
+    def test_caller_supplied_wrapper_passes_through(self):
+        wrapped = ResilientEmbedder(MistralEmbedder(), retry_max_attempts=9)
+        engine = IntegrationEngine(FuzzyFDConfig(embedder=wrapped))
+        assert engine.embedder is wrapped
+        assert engine.embedder.retry_max_attempts == 9

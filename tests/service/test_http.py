@@ -68,8 +68,9 @@ class TestEndpoints:
 
         status, body = _run(scenario)
         assert status == 200
-        assert body["status"] == "ok"
+        assert body["status"] == "healthy"
         assert body["requests_served"] == 0
+        assert body["breaker"]["state"] == "closed"
 
     def test_integrate_round_trip_with_trace(self):
         async def scenario(port, service):
